@@ -1,0 +1,21 @@
+//! Criterion benchmark for experiment E11_DEGENERACY_TURAN: wall-clock cost of the
+//! `e11_degeneracy_turan` sweep at quick scale. The full sweep (and the table the paper
+//! claim is checked against) is produced by the `experiments` binary.
+
+use std::time::Duration;
+
+use clique_bench::experiments::e11_degeneracy_turan;
+use clique_bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_degeneracy_turan");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("quick sweep", |b| b.iter(|| e11_degeneracy_turan(Scale::Quick)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

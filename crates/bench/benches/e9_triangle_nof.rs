@@ -1,0 +1,21 @@
+//! Criterion benchmark for experiment E9_TRIANGLE_NOF: wall-clock cost of the
+//! `e9_triangle_nof` sweep at quick scale. The full sweep (and the table the paper
+//! claim is checked against) is produced by the `experiments` binary.
+
+use std::time::Duration;
+
+use clique_bench::experiments::e9_triangle_nof;
+use clique_bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_triangle_nof");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("quick sweep", |b| b.iter(|| e9_triangle_nof(Scale::Quick)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

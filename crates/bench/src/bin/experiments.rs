@@ -1,0 +1,70 @@
+//! Regenerates every experiment table (E1–E12) of EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p clique-bench --release --bin experiments            # full sweep
+//! cargo run -p clique-bench --release --bin experiments -- --quick # smoke run
+//! cargo run -p clique-bench --release --bin experiments -- E4 E7   # selected experiments
+//! cargo run -p clique-bench --release --bin experiments -- --json  # machine-readable output
+//! ```
+
+use std::time::Instant;
+
+use clique_bench::experiments;
+use clique_bench::{ExperimentTable, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_uppercase())
+        .collect();
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    let all: Vec<(&str, fn(Scale) -> ExperimentTable)> = vec![
+        ("E1", experiments::e1_circuit_simulation),
+        ("E2", experiments::e2_routing),
+        ("E3", experiments::e3_triangle_matmul),
+        ("E4", experiments::e4_subgraph_turan),
+        ("E5", experiments::e5_adaptive),
+        ("E6", experiments::e6_lower_bound_cliques),
+        ("E7", experiments::e7_lower_bound_cycles),
+        ("E8", experiments::e8_lower_bound_bipartite),
+        ("E9", experiments::e9_triangle_nof),
+        ("E10", experiments::e10_counting),
+        ("E11", experiments::e11_degeneracy_turan),
+        ("E12", experiments::e12_sketch_reconstruction),
+    ];
+
+    let mut tables = Vec::new();
+    for (id, run) in all {
+        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
+            continue;
+        }
+        eprintln!("running {id} ({scale:?}) …");
+        let start = Instant::now();
+        let table = run(scale);
+        eprintln!("  done in {:.1?}", start.elapsed());
+        tables.push(table);
+    }
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&tables).expect("experiment tables serialise to JSON")
+        );
+    } else {
+        println!("# Experiment results (congested clique reproduction)\n");
+        println!(
+            "Scale: {}\n",
+            if quick { "quick (smoke sizes)" } else { "full" }
+        );
+        for table in &tables {
+            print!("{}", table.to_markdown());
+        }
+    }
+}

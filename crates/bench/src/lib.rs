@@ -1,0 +1,23 @@
+//! # clique-bench — the experiment and benchmark harness
+//!
+//! The paper has no numeric tables or figures (its results are theorems), so
+//! the "tables" this harness regenerates are the per-theorem experiments
+//! listed in DESIGN.md (E1–E12): every experiment runs the corresponding
+//! construction over a parameter sweep and reports the measured rounds, bits
+//! or sizes next to the bound the theorem predicts.
+//!
+//! * `cargo run -p clique-bench --release --bin experiments` regenerates the
+//!   full EXPERIMENTS.md tables (pass `--quick` for a fast smoke run, or an
+//!   experiment id such as `E4` to run a single experiment).
+//! * `cargo bench -p clique-bench` runs one Criterion benchmark group per
+//!   experiment on reduced sizes, measuring the wall-clock cost of the
+//!   underlying simulations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_all, Scale};
+pub use table::ExperimentTable;

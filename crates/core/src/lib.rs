@@ -1,0 +1,82 @@
+//! # clique-core — the algorithms of "On the Power of the Congested Clique Model"
+//!
+//! This crate implements, on top of a bit-exact simulator, every protocol and
+//! reduction of Drucker, Kuhn & Oshman (PODC 2014):
+//!
+//! * [`circuit_sim`] — the circuit-to-clique simulation of Theorem 2 (heavy/
+//!   light gate assignment, separable summaries, balanced routing of light
+//!   wires);
+//! * [`triangle`] — triangle detection in `CLIQUE-UCAST` through `F₂` matrix
+//!   multiplication circuits (Section 2.1), plus the trivial and
+//!   Dolev–Lenzen–Peled baselines;
+//! * [`subgraph`] — the Becker et al. reconstruction protocol `A(G, k)` and
+//!   the Theorem 7 subgraph-detection upper bound driven by Turán numbers;
+//! * [`adaptive`] — the Theorem 9 adaptive detection algorithm that does not
+//!   need to know `ex(n, H)` (degeneracy sampling, Lemma 8);
+//! * [`trivial`] — the broadcast-everything and gather-at-a-leader baselines;
+//! * [`lower_bounds`] — executable versions of the Section 3.2–3.6 lower
+//!   bound reductions, run against the upper-bound protocols.
+//!
+//! The substrate crates are re-exported under [`sim`], [`graphs`],
+//! [`circuits`], [`sketch`], [`routing`] and [`comm`], so depending on
+//! `clique-core` alone is enough to reproduce every experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use clique_core::graphs::{generators, Pattern};
+//! use clique_core::subgraph::detect_subgraph_turan;
+//! use clique_core::trivial::detect_by_full_broadcast;
+//!
+//! # fn main() -> Result<(), clique_core::sim::SimError> {
+//! // A C4-free graph on 31 nodes (the Erdős–Rényi polarity graph).
+//! let g = clique_core::graphs::extremal::dense_c4_free(31);
+//!
+//! // Theorem 7: detecting C4 with degeneracy sketches takes far fewer
+//! // broadcast rounds than the trivial "everyone broadcasts its row".
+//! let smart = detect_subgraph_turan(&g, &Pattern::Cycle(4), 1)?;
+//! let trivial = detect_by_full_broadcast(&g, &Pattern::Cycle(4), 1)?;
+//! assert!(!smart.contains && !trivial.contains);
+//! assert!(smart.rounds > 0);
+//! assert!(trivial.rounds == 31);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod circuit_sim;
+pub mod lower_bounds;
+pub mod outcome;
+pub mod subgraph;
+pub mod triangle;
+pub mod trivial;
+
+/// Re-export of the simulator crate (`clique-sim`).
+pub use clique_sim as sim;
+
+/// Re-export of the graph substrate (`clique-graphs`).
+pub use clique_graphs as graphs;
+
+/// Re-export of the circuit substrate (`clique-circuits`).
+pub use clique_circuits as circuits;
+
+/// Re-export of the sketch substrate (`clique-sketch`).
+pub use clique_sketch as sketch;
+
+/// Re-export of the routing substrate (`clique-routing`).
+pub use clique_routing as routing;
+
+/// Re-export of the communication-complexity substrate (`clique-comm`).
+pub use clique_comm as comm;
+
+pub use adaptive::{detect_subgraph_adaptive, AdaptiveRun};
+pub use circuit_sim::{plan_simulation, simulate_circuit, InputPartition, SimulationPlan};
+pub use outcome::{CircuitSimOutcome, DetectionOutcome};
+pub use subgraph::{detect_subgraph_turan, run_reconstruction_protocol, ReconstructionRun};
+pub use triangle::{
+    detect_triangle_dlp, detect_triangle_trivial, detect_triangle_via_matmul, MatMulStrategy,
+};
+pub use trivial::{detect_by_full_broadcast, detect_by_gather_to_leader};

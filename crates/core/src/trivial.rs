@@ -1,0 +1,178 @@
+//! Trivial baseline protocols.
+//!
+//! Two protocols that the paper repeatedly uses as yardsticks:
+//!
+//! * **broadcast-your-neighbourhood** (`CLIQUE-BCAST`): every node writes its
+//!   `n`-bit adjacency row on the blackboard; after `⌈n/b⌉` rounds every
+//!   node knows the whole graph and can answer any graph question locally.
+//!   This is the trivial `O(n log n / b)`-round upper bound that Theorem 7
+//!   improves on for bipartite patterns (and that non-bipartite patterns are
+//!   stuck with).
+//! * **ship-everything-to-a-leader** (`CLIQUE-UCAST`): every node sends its
+//!   `n`-bit row to player 0 over its single link to player 0, taking
+//!   `⌈n/b⌉` rounds; this matches the non-explicit counting lower bound up
+//!   to the `O(log n)` slack.
+
+use clique_graphs::iso::find_subgraph;
+use clique_graphs::{Graph, Pattern};
+use clique_sim::prelude::*;
+
+use crate::outcome::DetectionOutcome;
+
+/// Runs the broadcast-your-neighbourhood protocol in `CLIQUE-BCAST(n, b)`
+/// and answers `H`-subgraph detection by local search on the reconstructed
+/// graph.
+///
+/// # Errors
+///
+/// Propagates simulator errors (which cannot occur for well-formed inputs).
+///
+/// # Panics
+///
+/// Panics if `graph` has no vertices.
+pub fn detect_by_full_broadcast(
+    graph: &Graph,
+    pattern: &Pattern,
+    bandwidth: usize,
+) -> Result<DetectionOutcome, SimError> {
+    let n = graph.vertex_count();
+    assert!(n > 0, "the input graph must have at least one node");
+    let mut engine = PhaseEngine::new(CliqueConfig::broadcast(n, bandwidth));
+
+    // Every node broadcasts its adjacency row (n bits).
+    let rows: Vec<BitString> = (0..n)
+        .map(|v| BitString::from_bools(&graph.adjacency_row(v)))
+        .collect();
+    let inboxes = engine.broadcast_all("broadcast adjacency rows", &rows)?;
+
+    // Node 0 reconstructs the graph from what it received (plus its own row)
+    // and searches locally. Every other node could do the same.
+    let mut matrix = vec![vec![false; n]; n];
+    matrix[0] = graph.adjacency_row(0);
+    for (sender, payload) in inboxes[0].broadcasts() {
+        let mut reader = payload.reader();
+        let row: Vec<bool> = (0..n).map(|_| reader.read_bit().unwrap_or(false)).collect();
+        matrix[sender.index()] = row;
+    }
+    let reconstructed = Graph::from_adjacency_matrix(&matrix);
+    debug_assert_eq!(&reconstructed, graph);
+    let witness = find_subgraph(&reconstructed, &pattern.graph());
+
+    Ok(DetectionOutcome::from_metrics(
+        witness.is_some(),
+        witness,
+        engine.metrics(),
+    ))
+}
+
+/// Runs the ship-everything-to-a-leader protocol in `CLIQUE-UCAST(n, b)`.
+/// Returns the detection outcome decided by the leader (player 0).
+///
+/// # Errors
+///
+/// Propagates simulator errors (which cannot occur for well-formed inputs).
+///
+/// # Panics
+///
+/// Panics if `graph` has no vertices.
+pub fn detect_by_gather_to_leader(
+    graph: &Graph,
+    pattern: &Pattern,
+    bandwidth: usize,
+) -> Result<DetectionOutcome, SimError> {
+    let n = graph.vertex_count();
+    assert!(n > 0, "the input graph must have at least one node");
+    let mut engine = PhaseEngine::new(CliqueConfig::unicast(n, bandwidth));
+
+    let mut outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
+    for (v, out) in outs.iter_mut().enumerate().skip(1) {
+        out.send(
+            NodeId::new(0),
+            BitString::from_bools(&graph.adjacency_row(v)),
+        );
+    }
+    let inboxes = engine.exchange("gather rows at leader", outs)?;
+
+    let mut matrix = vec![vec![false; n]; n];
+    matrix[0] = graph.adjacency_row(0);
+    for (sender, payload) in inboxes[0].unicasts() {
+        let mut reader = payload.reader();
+        matrix[sender.index()] = (0..n).map(|_| reader.read_bit().unwrap_or(false)).collect();
+    }
+    let reconstructed = Graph::from_adjacency_matrix(&matrix);
+    debug_assert_eq!(&reconstructed, graph);
+    let witness = find_subgraph(&reconstructed, &pattern.graph());
+
+    Ok(DetectionOutcome::from_metrics(
+        witness.is_some(),
+        witness,
+        engine.metrics(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_graphs::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn full_broadcast_detects_planted_patterns() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xF0);
+        let host = generators::erdos_renyi(24, 0.05, &mut rng);
+        let pattern = Pattern::Cycle(4);
+        let (with_copy, _) = generators::plant_copy(&host, &pattern.graph(), &mut rng);
+        let outcome = detect_by_full_broadcast(&with_copy, &pattern, 4).unwrap();
+        assert!(outcome.contains);
+        assert!(outcome.witness.is_some());
+        // ceil(n / b) rounds.
+        assert_eq!(outcome.rounds, 6);
+    }
+
+    #[test]
+    fn full_broadcast_reports_absence() {
+        let g = generators::turan_graph(15, 3); // K4-free
+        let outcome = detect_by_full_broadcast(&g, &Pattern::Clique(4), 3).unwrap();
+        assert!(!outcome.contains);
+        assert!(outcome.witness.is_none());
+        assert_eq!(outcome.rounds, 5);
+        // Blackboard bits: n rows of n bits.
+        assert_eq!(outcome.total_bits, 15 * 15);
+    }
+
+    #[test]
+    fn gather_to_leader_matches_broadcast_answer() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xF1);
+        for _ in 0..5 {
+            let g = generators::erdos_renyi(18, 0.2, &mut rng);
+            let pattern = Pattern::Clique(3);
+            let a = detect_by_full_broadcast(&g, &pattern, 2).unwrap();
+            let b = detect_by_gather_to_leader(&g, &pattern, 2).unwrap();
+            assert_eq!(a.contains, b.contains);
+            // Both take ceil(n/b) rounds.
+            assert_eq!(a.rounds, b.rounds);
+        }
+    }
+
+    #[test]
+    fn round_counts_scale_with_bandwidth() {
+        let g = generators::cycle(32);
+        let slow = detect_by_full_broadcast(&g, &Pattern::Cycle(32), 1).unwrap();
+        let fast = detect_by_full_broadcast(&g, &Pattern::Cycle(32), 16).unwrap();
+        assert_eq!(slow.rounds, 32);
+        assert_eq!(fast.rounds, 2);
+        assert!(slow.contains && fast.contains);
+    }
+
+    #[test]
+    fn witness_is_a_real_copy() {
+        let g = generators::complete(6);
+        let outcome = detect_by_full_broadcast(&g, &Pattern::Clique(4), 8).unwrap();
+        let witness = outcome.witness.unwrap();
+        let pattern = Pattern::Clique(4).graph();
+        for (u, v) in pattern.edges() {
+            assert!(g.has_edge(witness[u], witness[v]));
+        }
+    }
+}

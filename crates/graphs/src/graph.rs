@@ -1,0 +1,433 @@
+//! The undirected graph type shared by every crate in the workspace.
+//!
+//! Inputs to the congested clique in the subgraph-detection problem are
+//! `n`-node undirected graphs in which player `i` knows the edges adjacent to
+//! node `i`; [`Graph`] stores exactly that information (sorted adjacency
+//! lists) and provides the operations the algorithms and constructions in the
+//! paper need: edge queries, degrees, induced subgraphs, unions, and
+//! adjacency rows for distributing the input among players.
+
+use std::fmt;
+
+/// An undirected simple graph on vertices `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use clique_graphs::Graph;
+///
+/// let mut g = Graph::empty(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.edge_count(), 2);
+/// assert!(g.has_edge(1, 0));
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Creates a graph from an undirected edge list on `n` vertices.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::empty(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge is new.
+    ///
+    /// Self-loops are ignored (returns `false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        let n = self.vertex_count();
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        let pos_u = self.adj[u].binary_search(&v).unwrap_err();
+        self.adj[u].insert(pos_u, v);
+        let pos_v = self.adj[v].binary_search(&u).unwrap_err();
+        self.adj[v].insert(pos_v, u);
+        self.edges += 1;
+        true
+    }
+
+    /// Removes the undirected edge `{u, v}`. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if u >= self.vertex_count() || v >= self.vertex_count() || u == v {
+            return false;
+        }
+        if let Ok(pos) = self.adj[u].binary_search(&v) {
+            self.adj[u].remove(pos);
+            let pos_v = self.adj[v]
+                .binary_search(&u)
+                .expect("adjacency lists out of sync");
+            self.adj[v].remove(pos_v);
+            self.edges -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj
+            .get(u)
+            .is_some_and(|list| list.binary_search(&v).is_ok())
+    }
+
+    /// The sorted neighbour list of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// The degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// The maximum degree of the graph (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Iterates over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = usize> {
+        0..self.vertex_count()
+    }
+
+    /// The adjacency row of `u` as booleans (used to hand player `u` its
+    /// share of the input).
+    pub fn adjacency_row(&self, u: usize) -> Vec<bool> {
+        let mut row = vec![false; self.vertex_count()];
+        for &v in &self.adj[u] {
+            row[v] = true;
+        }
+        row
+    }
+
+    /// The full adjacency matrix as booleans.
+    pub fn adjacency_matrix(&self) -> Vec<Vec<bool>> {
+        (0..self.vertex_count())
+            .map(|u| self.adjacency_row(u))
+            .collect()
+    }
+
+    /// Builds a graph on `rows.len()` vertices from a symmetric boolean
+    /// adjacency matrix. The matrix is symmetrised by OR-ing `(u,v)` and
+    /// `(v,u)`; the diagonal is ignored.
+    pub fn from_adjacency_matrix(rows: &[Vec<bool>]) -> Self {
+        let n = rows.len();
+        let mut g = Self::empty(n);
+        for (u, row) in rows.iter().enumerate() {
+            for (v, &bit) in row.iter().enumerate().take(n) {
+                if bit && u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// The subgraph induced by `vertices`, relabelled to `0..vertices.len()`
+    /// in the given order. Returns the subgraph and the mapping from new
+    /// labels to original labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex is out of range or listed twice.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> (Graph, Vec<usize>) {
+        let n = self.vertex_count();
+        let mut position = vec![usize::MAX; n];
+        for (new, &old) in vertices.iter().enumerate() {
+            assert!(old < n, "vertex {old} out of range");
+            assert!(position[old] == usize::MAX, "vertex {old} listed twice");
+            position[old] = new;
+        }
+        let mut sub = Graph::empty(vertices.len());
+        for (new_u, &old_u) in vertices.iter().enumerate() {
+            for &old_v in &self.adj[old_u] {
+                let new_v = position[old_v];
+                if new_v != usize::MAX && new_u < new_v {
+                    sub.add_edge(new_u, new_v);
+                }
+            }
+        }
+        (sub, vertices.to_vec())
+    }
+
+    /// Keeps only the edges for which `keep` returns `true`.
+    pub fn filter_edges(&self, mut keep: impl FnMut(usize, usize) -> bool) -> Graph {
+        let mut g = Graph::empty(self.vertex_count());
+        for (u, v) in self.edges() {
+            if keep(u, v) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// The disjoint union of `self` and `other` (vertices of `other` are
+    /// shifted by `self.vertex_count()`).
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let offset = self.vertex_count();
+        let mut g = Graph::empty(offset + other.vertex_count());
+        for (u, v) in self.edges() {
+            g.add_edge(u, v);
+        }
+        for (u, v) in other.edges() {
+            g.add_edge(u + offset, v + offset);
+        }
+        g
+    }
+
+    /// Returns `true` if the graph is connected (the empty graph and the
+    /// one-vertex graph are considered connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.vertex_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Returns a proper 2-colouring if the graph is bipartite, `None`
+    /// otherwise.
+    pub fn bipartition(&self) -> Option<Vec<bool>> {
+        let n = self.vertex_count();
+        let mut color: Vec<Option<bool>> = vec![None; n];
+        for start in 0..n {
+            if color[start].is_some() {
+                continue;
+            }
+            color[start] = Some(false);
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                let cu = color[u].expect("queued vertices are coloured");
+                for &v in &self.adj[u] {
+                    match color[v] {
+                        None => {
+                            color[v] = Some(!cu);
+                            queue.push_back(v);
+                        }
+                        Some(cv) if cv == cu => return None,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        Some(color.into_iter().map(|c| c.unwrap_or(false)).collect())
+    }
+
+    /// Returns `true` if the graph contains no odd cycle.
+    pub fn is_bipartite(&self) -> bool {
+        self.bipartition().is_some()
+    }
+
+    /// Number of vertex pairs `{u, v}`, i.e. the edge count of the complete
+    /// graph on the same vertex set.
+    pub fn max_possible_edges(&self) -> usize {
+        let n = self.vertex_count();
+        n * (n.saturating_sub(1)) / 2
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={})",
+            self.vertex_count(),
+            self.edge_count()
+        )
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph on {} vertices:", self.vertex_count())?;
+        for (u, v) in self.edges() {
+            writeln!(f, "  {u} -- {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Graph::empty(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "duplicate edge not re-added");
+        assert!(!g.add_edge(2, 2), "self loop ignored");
+        assert!(g.add_edge(1, 2));
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn edges_iterator_is_sorted_pairs() {
+        let g = Graph::from_edges(4, &[(2, 1), (0, 3), (3, 2)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn adjacency_round_trip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let m = g.adjacency_matrix();
+        let g2 = Graph::from_adjacency_matrix(&m);
+        assert_eq!(g, g2);
+        assert_eq!(g.adjacency_row(0), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (sub, map) = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(0, 1)); // 1--2 in the original
+        assert_eq!(map, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn disjoint_union_shifts_labels() {
+        let a = Graph::from_edges(2, &[(0, 1)]);
+        let b = Graph::from_edges(3, &[(0, 2)]);
+        let c = a.disjoint_union(&b);
+        assert_eq!(c.vertex_count(), 5);
+        assert_eq!(c.edge_count(), 2);
+        assert!(c.has_edge(0, 1));
+        assert!(c.has_edge(2, 4));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Graph::empty(0).is_connected());
+        assert!(Graph::empty(1).is_connected());
+        assert!(!Graph::empty(2).is_connected());
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(path.is_connected());
+        let split = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!split.is_connected());
+    }
+
+    #[test]
+    fn bipartiteness() {
+        let even_cycle = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(even_cycle.is_bipartite());
+        let odd_cycle = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!odd_cycle.is_bipartite());
+        let coloring = even_cycle.bipartition().unwrap();
+        for (u, v) in even_cycle.edges() {
+            assert_ne!(coloring[u], coloring[v]);
+        }
+    }
+
+    #[test]
+    fn filter_edges_keeps_subset() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let f = g.filter_edges(|u, v| u + v >= 3);
+        assert_eq!(f.edge_count(), 2);
+        assert!(!f.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::empty(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn debug_and_display() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(format!("{g:?}"), "Graph(n=3, m=1)");
+        assert!(g.to_string().contains("0 -- 1"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Subgraph isomorphism for constant-size patterns.
+//!
+//! The subgraph-detection problem of the paper asks whether the input graph
+//! `G` contains a (not necessarily induced) copy of a fixed pattern `H`.
+//! Because `H` has constant size, a backtracking search with degree pruning
+//! is fast enough to serve both as the local post-processing step of the
+//! detection protocols (nodes search the reconstructed graph) and as the
+//! ground-truth oracle in tests and experiments.
+
+use crate::graph::Graph;
+
+/// Returns `true` if `host` contains a subgraph isomorphic to `pattern`.
+///
+/// An empty pattern (no vertices) is contained in every graph.
+pub fn contains_subgraph(host: &Graph, pattern: &Graph) -> bool {
+    find_subgraph(host, pattern).is_some()
+}
+
+/// Finds a copy of `pattern` in `host`, returning for each pattern vertex the
+/// host vertex it is mapped to, or `None` if no copy exists.
+///
+/// The mapping is injective and preserves every pattern edge (the copy need
+/// not be induced).
+pub fn find_subgraph(host: &Graph, pattern: &Graph) -> Option<Vec<usize>> {
+    let h = pattern.vertex_count();
+    if h == 0 {
+        return Some(Vec::new());
+    }
+    if h > host.vertex_count() || pattern.edge_count() > host.edge_count() {
+        return None;
+    }
+    let order = search_order(pattern);
+    let mut assignment = vec![usize::MAX; h];
+    let mut used = vec![false; host.vertex_count()];
+    if backtrack(host, pattern, &order, 0, &mut assignment, &mut used) {
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+/// Counts the number of *labelled* copies of `pattern` in `host`, i.e. the
+/// number of injective edge-preserving maps from the pattern's vertex set.
+///
+/// Note that this counts each unlabelled copy `|Aut(pattern)|` times; e.g.
+/// a triangle in the host is counted 6 times against `pattern = K_3`.
+pub fn count_labelled_copies(host: &Graph, pattern: &Graph) -> u64 {
+    let h = pattern.vertex_count();
+    if h == 0 {
+        return 1;
+    }
+    if h > host.vertex_count() {
+        return 0;
+    }
+    let order = search_order(pattern);
+    let mut assignment = vec![usize::MAX; h];
+    let mut used = vec![false; host.vertex_count()];
+    let mut count = 0u64;
+    count_backtrack(host, pattern, &order, 0, &mut assignment, &mut used, &mut count);
+    count
+}
+
+/// Lists the triangles of `graph` as sorted vertex triples.
+pub fn triangles(graph: &Graph) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    for u in 0..graph.vertex_count() {
+        let nu = graph.neighbors(u);
+        for (i, &v) in nu.iter().enumerate() {
+            if v <= u {
+                continue;
+            }
+            for &w in &nu[i + 1..] {
+                if w > v && graph.has_edge(v, w) {
+                    out.push((u, v, w));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of triangles in `graph`.
+pub fn triangle_count(graph: &Graph) -> u64 {
+    triangles(graph).len() as u64
+}
+
+/// Returns `true` if `graph` contains a triangle.
+pub fn has_triangle(graph: &Graph) -> bool {
+    for u in 0..graph.vertex_count() {
+        let nu = graph.neighbors(u);
+        for (i, &v) in nu.iter().enumerate() {
+            if v <= u {
+                continue;
+            }
+            for &w in &nu[i + 1..] {
+                if graph.has_edge(v, w) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Orders pattern vertices so that each vertex (after the first) is adjacent
+/// to an earlier one whenever the pattern is connected, which makes the
+/// backtracking search prune early. Falls back to degree order across
+/// components.
+fn search_order(pattern: &Graph) -> Vec<usize> {
+    let h = pattern.vertex_count();
+    let mut order = Vec::with_capacity(h);
+    let mut placed = vec![false; h];
+    // Process components by decreasing max degree.
+    let mut by_degree: Vec<usize> = (0..h).collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(pattern.degree(v)));
+    for &seed in &by_degree {
+        if placed[seed] {
+            continue;
+        }
+        placed[seed] = true;
+        order.push(seed);
+        loop {
+            // Greedily pick the unplaced vertex with most placed neighbours,
+            // breaking ties by degree.
+            let next = (0..h)
+                .filter(|&v| !placed[v])
+                .map(|v| {
+                    let connectivity = pattern
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| placed[u])
+                        .count();
+                    (connectivity, pattern.degree(v), v)
+                })
+                .max_by_key(|&(c, d, _)| (c, d));
+            match next {
+                Some((c, _, v)) if c > 0 => {
+                    placed[v] = true;
+                    order.push(v);
+                }
+                _ => break,
+            }
+        }
+    }
+    // Any remaining isolated-or-disconnected vertices.
+    for v in 0..h {
+        if !placed[v] {
+            order.push(v);
+        }
+    }
+    order
+}
+
+fn candidate_ok(
+    host: &Graph,
+    pattern: &Graph,
+    assignment: &[usize],
+    pattern_vertex: usize,
+    host_vertex: usize,
+) -> bool {
+    if host.degree(host_vertex) < pattern.degree(pattern_vertex) {
+        return false;
+    }
+    for &pn in pattern.neighbors(pattern_vertex) {
+        let mapped = assignment[pn];
+        if mapped != usize::MAX && !host.has_edge(host_vertex, mapped) {
+            return false;
+        }
+    }
+    true
+}
+
+fn backtrack(
+    host: &Graph,
+    pattern: &Graph,
+    order: &[usize],
+    depth: usize,
+    assignment: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let pv = order[depth];
+    for hv in candidate_hosts(host, pattern, assignment, pv) {
+        if used[hv] || !candidate_ok(host, pattern, assignment, pv, hv) {
+            continue;
+        }
+        assignment[pv] = hv;
+        used[hv] = true;
+        if backtrack(host, pattern, order, depth + 1, assignment, used) {
+            return true;
+        }
+        assignment[pv] = usize::MAX;
+        used[hv] = false;
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn count_backtrack(
+    host: &Graph,
+    pattern: &Graph,
+    order: &[usize],
+    depth: usize,
+    assignment: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    count: &mut u64,
+) {
+    if depth == order.len() {
+        *count += 1;
+        return;
+    }
+    let pv = order[depth];
+    for hv in candidate_hosts(host, pattern, assignment, pv) {
+        if used[hv] || !candidate_ok(host, pattern, assignment, pv, hv) {
+            continue;
+        }
+        assignment[pv] = hv;
+        used[hv] = true;
+        count_backtrack(host, pattern, order, depth + 1, assignment, used, count);
+        assignment[pv] = usize::MAX;
+        used[hv] = false;
+    }
+}
+
+/// Candidate host vertices for `pattern_vertex`: if some neighbour is already
+/// mapped, only the host-neighbours of its image need to be considered;
+/// otherwise all host vertices.
+fn candidate_hosts(
+    host: &Graph,
+    pattern: &Graph,
+    assignment: &[usize],
+    pattern_vertex: usize,
+) -> Vec<usize> {
+    for &pn in pattern.neighbors(pattern_vertex) {
+        let mapped = assignment[pn];
+        if mapped != usize::MAX {
+            return host.neighbors(mapped).to_vec();
+        }
+    }
+    (0..host.vertex_count()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn empty_pattern_always_found() {
+        let g = generators::cycle(5);
+        assert!(contains_subgraph(&g, &Graph::empty(0)));
+        assert_eq!(find_subgraph(&g, &Graph::empty(0)), Some(vec![]));
+    }
+
+    #[test]
+    fn triangle_in_complete_graph() {
+        let g = generators::complete(5);
+        let k3 = generators::complete(3);
+        let mapping = find_subgraph(&g, &k3).unwrap();
+        assert_eq!(mapping.len(), 3);
+        for (u, v) in k3.edges() {
+            assert!(g.has_edge(mapping[u], mapping[v]));
+        }
+        assert!(has_triangle(&g));
+        assert_eq!(triangle_count(&g), 10);
+        assert_eq!(count_labelled_copies(&g, &k3), 60);
+    }
+
+    #[test]
+    fn no_triangle_in_bipartite_graph() {
+        let g = generators::complete_bipartite(4, 4);
+        assert!(!has_triangle(&g));
+        assert!(!contains_subgraph(&g, &generators::complete(3)));
+        assert!(contains_subgraph(&g, &generators::cycle(4)));
+        assert!(contains_subgraph(&g, &generators::complete_bipartite(2, 2)));
+        assert!(!contains_subgraph(&g, &generators::complete_bipartite(5, 2)));
+    }
+
+    #[test]
+    fn cycle_detection_lengths() {
+        let g = generators::cycle(7);
+        assert!(contains_subgraph(&g, &generators::cycle(7)));
+        assert!(!contains_subgraph(&g, &generators::cycle(4)));
+        assert!(!contains_subgraph(&g, &generators::cycle(3)));
+        assert!(contains_subgraph(&g, &generators::path(7)));
+    }
+
+    #[test]
+    fn k4_detection() {
+        let mut g = generators::turan_graph(12, 3);
+        let k4 = generators::complete(4);
+        assert!(!contains_subgraph(&g, &k4));
+        // Add one edge inside a part to create a K4.
+        g.add_edge(0, 3);
+        assert!(contains_subgraph(&g, &k4));
+    }
+
+    #[test]
+    fn planted_pattern_is_found_and_absence_detected() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let pattern = generators::complete_bipartite(2, 3);
+        let host = generators::random_bipartite(15, 15, 0.08, &mut rng);
+        let (with_copy, _) = generators::plant_copy(&host, &pattern, &mut rng);
+        assert!(contains_subgraph(&with_copy, &pattern));
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        let two_edges = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let host = generators::perfect_matching(2);
+        assert!(contains_subgraph(&host, &two_edges));
+        let host_single = generators::perfect_matching(1);
+        assert!(!contains_subgraph(&host_single, &two_edges));
+    }
+
+    #[test]
+    fn triangles_listing_is_sorted_and_correct() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let ts = triangles(&g);
+        assert_eq!(ts, vec![(0, 1, 2), (2, 3, 4)]);
+        assert_eq!(triangle_count(&g), 2);
+    }
+
+    #[test]
+    fn count_matches_brute_force_on_random_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(10);
+        for _ in 0..10 {
+            let g = generators::erdos_renyi(8, 0.5, &mut rng);
+            let k3 = generators::complete(3);
+            // count_labelled_copies counts each triangle 3! = 6 times.
+            assert_eq!(count_labelled_copies(&g, &k3), 6 * triangle_count(&g));
+        }
+    }
+
+    #[test]
+    fn pattern_larger_than_host_not_found() {
+        let g = generators::complete(3);
+        assert!(!contains_subgraph(&g, &generators::complete(4)));
+        assert_eq!(count_labelled_copies(&g, &generators::complete(4)), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # clique-graphs — graph substrate for the congested clique reproduction
+//!
+//! This crate provides every graph-theoretic ingredient used by the
+//! reproduction of Drucker, Kuhn & Oshman, *On the Power of the Congested
+//! Clique Model* (PODC 2014):
+//!
+//! * [`graph::Graph`] — the undirected graph type whose adjacency rows are
+//!   the players' inputs in the subgraph-detection problem;
+//! * [`generators`] — pattern graphs, random hosts and planted instances;
+//! * [`degeneracy`] — degeneracy, elimination orderings and `k`-cores
+//!   (Claim 6);
+//! * [`iso`] — subgraph-isomorphism search used as the local post-processing
+//!   step of the detection protocols and as the ground-truth oracle;
+//! * [`turan`] — the [`turan::Pattern`] type and Turán-number upper bounds
+//!   (Definition 5, Theorem 7);
+//! * [`extremal`] — explicit dense `H`-free graphs: polarity graphs,
+//!   projective incidence graphs, greedy constructions (Section 3.2–3.5);
+//! * [`behrend`] — Behrend AP-free sets and Ruzsa–Szemerédi graphs
+//!   (Claim 23, Theorem 24);
+//! * [`sampling`] — the correlated edge-sampling scheme of Theorem 9 /
+//!   Lemma 8.
+//!
+//! # Examples
+//!
+//! ```
+//! use clique_graphs::{generators, iso, turan::Pattern};
+//!
+//! // Build the extremal K4-free graph on 12 vertices and check it really is
+//! // K4-free but contains triangles.
+//! let g = generators::turan_graph(12, 3);
+//! assert!(!iso::contains_subgraph(&g, &Pattern::Clique(4).graph()));
+//! assert!(iso::contains_subgraph(&g, &Pattern::Clique(3).graph()));
+//! assert!(g.edge_count() as f64 <= Pattern::Clique(4).ex_upper_bound(12));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behrend;
+pub mod degeneracy;
+pub mod extremal;
+pub mod generators;
+pub mod graph;
+pub mod iso;
+pub mod sampling;
+pub mod turan;
+
+pub use graph::Graph;
+pub use turan::Pattern;

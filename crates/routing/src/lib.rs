@@ -1,0 +1,54 @@
+//! # clique-routing — routing substrates for the unicast congested clique
+//!
+//! Theorem 2 of Drucker, Kuhn & Oshman (PODC 2014) routes *balanced* demands
+//! (every player sends and receives at most `O(n·s)` bits) in `O(1)` rounds
+//! by invoking Lenzen's deterministic routing theorem \[28\] as a black box.
+//! This crate provides that black box for the simulation:
+//!
+//! * [`demand::RoutingDemand`] — a demand as a list of packets with per-node
+//!   and per-pair load accounting and the "balanced" predicate;
+//! * [`router::DirectRouter`] — the naive baseline (one hop, possibly
+//!   `Θ(n)` rounds for concentrated demands);
+//! * [`router::ValiantRouter`] — two-phase routing via random intermediaries;
+//! * [`router::BalancedRouter`] — a deterministic two-phase schedule with a
+//!   greedily balanced intermediary assignment, the workspace's stand-in for
+//!   Lenzen's algorithm (see DESIGN.md, substitution table).
+//!
+//! All routers charge their communication (including forwarding headers) to
+//! a [`clique_sim::PhaseEngine`], so experiment E2 can compare their measured
+//! round counts directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use clique_routing::{demand::RoutingDemand, router::{BalancedRouter, DirectRouter, Router}};
+//! use clique_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), SimError> {
+//! // Node 0 wants to send 8 packets of 8 bits to node 1 (a concentrated,
+//! // but balanced, demand).
+//! let mut demand = RoutingDemand::new(8);
+//! for i in 0..8u64 {
+//!     demand.send(0, 1, BitString::from_bits(i, 8));
+//! }
+//!
+//! let mut direct_engine = PhaseEngine::new(CliqueConfig::unicast(8, 8));
+//! DirectRouter.route(&demand, &mut direct_engine)?;
+//!
+//! let mut balanced_engine = PhaseEngine::new(CliqueConfig::unicast(8, 8));
+//! BalancedRouter.route(&demand, &mut balanced_engine)?;
+//!
+//! // The balanced two-phase schedule spreads the load over all links.
+//! assert!(balanced_engine.rounds() < direct_engine.rounds());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demand;
+pub mod router;
+
+pub use demand::{Packet, RoutingDemand};
+pub use router::{direct_round_bound, BalancedRouter, Delivered, DirectRouter, Router, ValiantRouter};

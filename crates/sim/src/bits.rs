@@ -1,0 +1,419 @@
+//! Bit-precise message payloads.
+//!
+//! The congested clique model is parameterised by a bandwidth `b` measured in
+//! *bits* per link per round, so all message accounting in this workspace is
+//! done at bit granularity. [`BitString`] is an append-only bit vector with a
+//! cursor-based reader ([`BitReader`]); it is the payload type used by both
+//! the low-level round engine and the high-level phase engine.
+
+use std::fmt;
+
+/// An append-only sequence of bits used as a message payload.
+///
+/// Bits are stored least-significant-first inside 64-bit words. The type
+/// supports appending single bits, fixed-width unsigned integers and whole
+/// bit strings, and reading them back in order with a [`BitReader`].
+///
+/// # Examples
+///
+/// ```
+/// use clique_sim::bits::BitString;
+///
+/// let mut msg = BitString::new();
+/// msg.push_bits(42, 16);
+/// msg.push_bit(true);
+/// assert_eq!(msg.len(), 17);
+///
+/// let mut reader = msg.reader();
+/// assert_eq!(reader.read_bits(16), Some(42));
+/// assert_eq!(reader.read_bit(), Some(true));
+/// assert!(reader.is_exhausted());
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitString {
+    /// Creates an empty bit string.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit string with capacity for at least `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Creates a bit string containing the `width` low-order bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn from_bits(value: u64, width: usize) -> Self {
+        let mut bs = Self::with_capacity(width);
+        bs.push_bits(value, width);
+        bs
+    }
+
+    /// Creates a bit string from a slice of booleans, one bit per element.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut bs = Self::with_capacity(bits.len());
+        for &bit in bits {
+            bs.push_bit(bit);
+        }
+        bs
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let word_idx = self.len / 64;
+        let bit_idx = self.len % 64;
+        if word_idx == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word_idx] |= 1u64 << bit_idx;
+        }
+        self.len += 1;
+    }
+
+    /// Appends the `width` low-order bits of `value`, least-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn push_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width {width} exceeds 64 bits");
+        for i in 0..width {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends an unsigned integer using the number of bits needed to
+    /// represent values in `0..universe` (i.e. `ceil(log2(universe))` bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= universe` or `universe == 0`.
+    pub fn push_uint(&mut self, value: u64, universe: u64) {
+        assert!(universe > 0, "universe must be positive");
+        assert!(
+            value < universe,
+            "value {value} out of range for universe {universe}"
+        );
+        self.push_bits(value, bits_for_universe(universe));
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend_from(&mut self, other: &BitString) {
+        for i in 0..other.len {
+            self.push_bit(other.bit(i));
+        }
+    }
+
+    /// Returns the bit at position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range");
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Returns a cursor for reading the bits back in order.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { bits: self, pos: 0 }
+    }
+
+    /// Iterates over the bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.bit(i))
+    }
+
+    /// Concatenates `self` and `other` into a new bit string.
+    pub fn concat(&self, other: &BitString) -> BitString {
+        let mut out = self.clone();
+        out.extend_from(other);
+        out
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString[{} bits: ", self.len)?;
+        let shown = self.len.min(64);
+        for i in 0..shown {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        if self.len > shown {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut bs = BitString::new();
+        for bit in iter {
+            bs.push_bit(bit);
+        }
+        bs
+    }
+}
+
+impl Extend<bool> for BitString {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        for bit in iter {
+            self.push_bit(bit);
+        }
+    }
+}
+
+/// A cursor over a [`BitString`] that reads bits in the order they were
+/// appended.
+///
+/// All read methods return `None` once the underlying data is exhausted,
+/// which makes malformed-message handling explicit at the call site.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bits: &'a BitString,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads a single bit, advancing the cursor.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bits.len() {
+            return None;
+        }
+        let bit = self.bits.bit(self.pos);
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `width` bits as an unsigned integer (least-significant first).
+    ///
+    /// Returns `None` if fewer than `width` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn read_bits(&mut self, width: usize) -> Option<u64> {
+        assert!(width <= 64, "width {width} exceeds 64 bits");
+        if self.pos + width > self.bits.len() {
+            return None;
+        }
+        let mut value = 0u64;
+        for i in 0..width {
+            if self.bits.bit(self.pos + i) {
+                value |= 1u64 << i;
+            }
+        }
+        self.pos += width;
+        Some(value)
+    }
+
+    /// Reads an unsigned integer encoded with [`BitString::push_uint`] for
+    /// the same `universe`.
+    pub fn read_uint(&mut self, universe: u64) -> Option<u64> {
+        self.read_bits(bits_for_universe(universe))
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Returns `true` if no bits remain.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current cursor position in bits.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Number of bits required to represent any value in `0..universe`.
+///
+/// Returns 0 when `universe <= 1` (a single possible value carries no
+/// information).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(clique_sim::bits::bits_for_universe(1), 0);
+/// assert_eq!(clique_sim::bits::bits_for_universe(2), 1);
+/// assert_eq!(clique_sim::bits::bits_for_universe(1000), 10);
+/// ```
+pub fn bits_for_universe(universe: u64) -> usize {
+    if universe <= 1 {
+        0
+    } else {
+        (64 - (universe - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bitstring() {
+        let bs = BitString::new();
+        assert!(bs.is_empty());
+        assert_eq!(bs.len(), 0);
+        assert!(bs.reader().is_exhausted());
+    }
+
+    #[test]
+    fn push_and_read_single_bits() {
+        let mut bs = BitString::new();
+        bs.push_bit(true);
+        bs.push_bit(false);
+        bs.push_bit(true);
+        assert_eq!(bs.len(), 3);
+        assert!(bs.bit(0));
+        assert!(!bs.bit(1));
+        assert!(bs.bit(2));
+        let mut r = bs.reader();
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bit(), Some(false));
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn push_and_read_fixed_width() {
+        let mut bs = BitString::new();
+        bs.push_bits(0xDEAD_BEEF, 32);
+        bs.push_bits(7, 3);
+        bs.push_bits(u64::MAX, 64);
+        let mut r = bs.reader();
+        assert_eq!(r.read_bits(32), Some(0xDEAD_BEEF));
+        assert_eq!(r.read_bits(3), Some(7));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn read_past_end_returns_none() {
+        let bs = BitString::from_bits(5, 3);
+        let mut r = bs.reader();
+        assert_eq!(r.read_bits(4), None);
+        assert_eq!(r.read_bits(3), Some(5));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes() {
+        let mut bs = BitString::new();
+        bs.push_bits(0, 0);
+        assert!(bs.is_empty());
+        let mut r = bs.reader();
+        assert_eq!(r.read_bits(0), Some(0));
+    }
+
+    #[test]
+    fn uint_encoding_round_trip() {
+        let mut bs = BitString::new();
+        for v in [0u64, 1, 99, 999] {
+            bs.push_uint(v, 1000);
+        }
+        let mut r = bs.reader();
+        for v in [0u64, 1, 99, 999] {
+            assert_eq!(r.read_uint(1000), Some(v));
+        }
+        assert!(r.is_exhausted());
+        assert_eq!(bs.len(), 4 * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn uint_out_of_range_panics() {
+        let mut bs = BitString::new();
+        bs.push_uint(1000, 1000);
+    }
+
+    #[test]
+    fn bits_for_universe_values() {
+        assert_eq!(bits_for_universe(0), 0);
+        assert_eq!(bits_for_universe(1), 0);
+        assert_eq!(bits_for_universe(2), 1);
+        assert_eq!(bits_for_universe(3), 2);
+        assert_eq!(bits_for_universe(4), 2);
+        assert_eq!(bits_for_universe(5), 3);
+        assert_eq!(bits_for_universe(1 << 20), 20);
+        assert_eq!(bits_for_universe(u64::MAX), 64);
+    }
+
+    #[test]
+    fn extend_and_concat() {
+        let a = BitString::from_bools(&[true, false]);
+        let b = BitString::from_bools(&[true, true, false]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![true, false, true, true, false]);
+        let mut d = a.clone();
+        d.extend_from(&b);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn from_iterator_and_extend_trait() {
+        let bs: BitString = [true, true, false].into_iter().collect();
+        assert_eq!(bs.len(), 3);
+        let mut bs2 = bs.clone();
+        bs2.extend([false, true]);
+        assert_eq!(bs2.len(), 5);
+        assert!(bs2.bit(4));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let bs = BitString::from_bools(&[true, false, true]);
+        assert_eq!(format!("{bs}"), "101");
+        assert!(format!("{bs:?}").contains("3 bits"));
+    }
+
+    #[test]
+    fn crossing_word_boundaries() {
+        let mut bs = BitString::new();
+        for i in 0..200u64 {
+            bs.push_bits(i % 2, 1);
+        }
+        bs.push_bits(0xABCD, 16);
+        let mut r = bs.reader();
+        for i in 0..200u64 {
+            assert_eq!(r.read_bits(1), Some(i % 2));
+        }
+        assert_eq!(r.read_bits(16), Some(0xABCD));
+    }
+}

@@ -1,0 +1,70 @@
+//! # clique-sim — a bit-exact simulator for the congested clique
+//!
+//! This crate implements the communication models studied in Drucker, Kuhn &
+//! Oshman, *On the Power of the Congested Clique Model* (PODC 2014):
+//!
+//! * **`CLIQUE-UCAST(n, b)`** — `n` players on a complete network; each
+//!   player may send a *different* `b`-bit message on each link per round.
+//! * **`CLIQUE-BCAST(n, b)`** — each player writes a single `b`-bit message
+//!   per round that every other player sees (the multi-party shared
+//!   blackboard with number-in-hand inputs).
+//! * **`CONGEST-UCAST(n, b)`** — unicast, but only along the edges of an
+//!   arbitrary topology (the communication network equals the input graph).
+//!
+//! Two execution engines are provided:
+//!
+//! * [`engine::RoundEngine`] — strict, round-by-round execution of a
+//!   [`node::NodeAlgorithm`] per player, rejecting any message longer than
+//!   `b` bits. Use it when the per-round behaviour itself is the object of
+//!   study.
+//! * [`phase::PhaseEngine`] — bulk-synchronous phases carrying arbitrarily
+//!   long logical messages, charged `ceil(max link load / b)` rounds. This is
+//!   what the higher-level crates (`clique-core`, `clique-routing`) build
+//!   their protocols on; the accounting is identical to chunking every long
+//!   message into `b`-bit pieces.
+//!
+//! # Examples
+//!
+//! ```
+//! use clique_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), clique_sim::model::SimError> {
+//! // The trivial algorithm of Section 3.1: in CLIQUE-BCAST(n, b) every node
+//! // broadcasts its whole neighbourhood (n bits), taking ceil(n / b) rounds.
+//! let n = 16;
+//! let cfg = CliqueConfig::broadcast(n, 4);
+//! let mut engine = PhaseEngine::new(cfg);
+//! let rows: Vec<BitString> = (0..n)
+//!     .map(|i| BitString::from_bools(&vec![i % 2 == 0; n]))
+//!     .collect();
+//! engine.broadcast_all("send adjacency rows", &rows)?;
+//! assert_eq!(engine.rounds(), (n as u64).div_ceil(4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod engine;
+pub mod metrics;
+pub mod model;
+pub mod node;
+pub mod phase;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use crate::bits::{bits_for_universe, BitReader, BitString};
+    pub use crate::engine::RoundEngine;
+    pub use crate::metrics::{Metrics, PhaseRecord, RunReport};
+    pub use crate::model::{AdjacencyTopology, CliqueConfig, CommMode, SimError, Topology};
+    pub use crate::node::{Inbox, NodeAlgorithm, NodeCtx, NodeId, Outbox};
+    pub use crate::phase::{PhaseEngine, PhaseInbox, PhaseOutbox};
+}
+
+pub use bits::BitString;
+pub use metrics::{Metrics, RunReport};
+pub use model::{CliqueConfig, CommMode, SimError};
+pub use node::NodeId;
+pub use phase::PhaseEngine;

@@ -1,0 +1,417 @@
+//! Model definitions: which machines exist, who may talk to whom, and how
+//! many bits fit on a link per round.
+//!
+//! The paper studies three models:
+//!
+//! * `CLIQUE-UCAST(n, b)` — [`CommMode::Unicast`] over [`Topology::Clique`]:
+//!   every ordered pair of players is connected and each player may send a
+//!   *different* `b`-bit message on each of its links per round.
+//! * `CLIQUE-BCAST(n, b)` — [`CommMode::Broadcast`] over [`Topology::Clique`]:
+//!   each player writes a single `b`-bit message per round, seen by everyone
+//!   (the shared-blackboard / number-in-hand multiparty model).
+//! * `CONGEST-UCAST(n, b)` — [`CommMode::Unicast`] over a
+//!   [`Topology::Graph`]: unicast, but only along the edges of the input
+//!   graph.
+
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// How a player's outgoing bandwidth may be used within one round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommMode {
+    /// A different `b`-bit message may be sent on every outgoing link.
+    Unicast,
+    /// A single `b`-bit message is written per round and delivered to all
+    /// neighbours (the shared blackboard).
+    Broadcast,
+}
+
+impl fmt::Display for CommMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommMode::Unicast => write!(f, "unicast"),
+            CommMode::Broadcast => write!(f, "broadcast"),
+        }
+    }
+}
+
+/// The communication topology: who is directly connected to whom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// The complete graph on `n` players (the congested clique).
+    Clique,
+    /// An arbitrary undirected topology given by adjacency lists
+    /// (the CONGEST setting, where the communication network equals the
+    /// input graph).
+    Graph(AdjacencyTopology),
+}
+
+impl Topology {
+    /// Returns `true` if player `u` may send directly to player `v`.
+    pub fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        match self {
+            Topology::Clique => true,
+            Topology::Graph(adj) => adj.has_edge(u, v),
+        }
+    }
+
+    /// The neighbours of `u` among `n` players.
+    pub fn neighbors(&self, u: NodeId, n: usize) -> Vec<NodeId> {
+        match self {
+            Topology::Clique => (0..n)
+                .filter(|&v| v != u.index())
+                .map(NodeId::new)
+                .collect(),
+            Topology::Graph(adj) => adj.neighbors(u),
+        }
+    }
+}
+
+/// An explicit adjacency-list topology for CONGEST-style simulations.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct AdjacencyTopology {
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl AdjacencyTopology {
+    /// Builds a topology on `n` nodes from an undirected edge list.
+    ///
+    /// Self-loops are ignored; duplicate edges are stored once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adjacency = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            if u == v {
+                continue;
+            }
+            if !adjacency[u].contains(&v) {
+                adjacency[u].push(v);
+                adjacency[v].push(u);
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        Self { adjacency }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Returns `true` if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency
+            .get(u.index())
+            .is_some_and(|list| list.binary_search(&v.index()).is_ok())
+    }
+
+    /// The neighbours of `u`.
+    pub fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        self.adjacency
+            .get(u.index())
+            .map(|list| list.iter().copied().map(NodeId::new).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Full configuration of a simulated model instance.
+///
+/// # Examples
+///
+/// ```
+/// use clique_sim::model::{CliqueConfig, CommMode};
+///
+/// // CLIQUE-BCAST(64, log n) as used throughout Section 3 of the paper.
+/// let cfg = CliqueConfig::broadcast(64, 6);
+/// assert_eq!(cfg.n, 64);
+/// assert_eq!(cfg.bandwidth, 6);
+/// assert_eq!(cfg.mode, CommMode::Broadcast);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliqueConfig {
+    /// Number of players.
+    pub n: usize,
+    /// Link bandwidth `b` in bits per round.
+    pub bandwidth: usize,
+    /// Unicast or broadcast use of the bandwidth.
+    pub mode: CommMode,
+    /// Communication topology (clique unless simulating CONGEST).
+    pub topology: Topology,
+}
+
+impl CliqueConfig {
+    /// `CLIQUE-UCAST(n, b)`: unicast congested clique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `bandwidth == 0`.
+    pub fn unicast(n: usize, bandwidth: usize) -> Self {
+        Self::validated(n, bandwidth, CommMode::Unicast, Topology::Clique)
+    }
+
+    /// `CLIQUE-BCAST(n, b)`: broadcast congested clique (shared blackboard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `bandwidth == 0`.
+    pub fn broadcast(n: usize, bandwidth: usize) -> Self {
+        Self::validated(n, bandwidth, CommMode::Broadcast, Topology::Clique)
+    }
+
+    /// `CONGEST-UCAST(n, b)`: unicast over the given topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `bandwidth == 0`, or the topology has a different
+    /// number of nodes than `n`.
+    pub fn congest(n: usize, bandwidth: usize, topology: AdjacencyTopology) -> Self {
+        assert_eq!(
+            topology.len(),
+            n,
+            "topology has {} nodes but n = {n}",
+            topology.len()
+        );
+        Self::validated(n, bandwidth, CommMode::Unicast, Topology::Graph(topology))
+    }
+
+    /// `CLIQUE-UCAST(n, O(log n))`: the bandwidth regime of [8, 28].
+    pub fn unicast_logn(n: usize) -> Self {
+        Self::unicast(n, log2_ceil(n).max(1))
+    }
+
+    /// `CLIQUE-BCAST(n, O(log n))`.
+    pub fn broadcast_logn(n: usize) -> Self {
+        Self::broadcast(n, log2_ceil(n).max(1))
+    }
+
+    fn validated(n: usize, bandwidth: usize, mode: CommMode, topology: Topology) -> Self {
+        assert!(n > 0, "a model needs at least one player");
+        assert!(bandwidth > 0, "bandwidth must be at least one bit");
+        Self {
+            n,
+            bandwidth,
+            mode,
+            topology,
+        }
+    }
+
+    /// Total number of bits that may cross the network in one round
+    /// (`Θ(b·n²)` for unicast, `Θ(b·n)` for broadcast).
+    pub fn bits_per_round(&self) -> u64 {
+        match self.mode {
+            CommMode::Unicast => (self.n as u64) * (self.n as u64 - 1) * self.bandwidth as u64,
+            CommMode::Broadcast => (self.n as u64) * self.bandwidth as u64,
+        }
+    }
+}
+
+impl fmt::Display for CliqueConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let topo = match &self.topology {
+            Topology::Clique => "CLIQUE",
+            Topology::Graph(_) => "CONGEST",
+        };
+        let mode = match self.mode {
+            CommMode::Unicast => "UCAST",
+            CommMode::Broadcast => "BCAST",
+        };
+        write!(f, "{topo}-{mode}(n={}, b={})", self.n, self.bandwidth)
+    }
+}
+
+/// Errors produced by the simulation engines.
+///
+/// Variant fields name the offending node(s) and, where relevant, the
+/// message size and the configured bandwidth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum SimError {
+    /// A unicast message was submitted in a broadcast-only model.
+    UnicastInBroadcastModel { sender: NodeId },
+    /// A message referenced a node id that does not exist.
+    InvalidNode { node: NodeId, n: usize },
+    /// A node attempted to send to itself.
+    SelfMessage { node: NodeId },
+    /// Two messages were sent on the same link in the same round.
+    DuplicateMessage { sender: NodeId, receiver: NodeId },
+    /// A message exceeded the per-round link bandwidth (low-level engine
+    /// only; the phase engine chunks long messages automatically).
+    BandwidthExceeded {
+        sender: NodeId,
+        receiver: Option<NodeId>,
+        bits: usize,
+        bandwidth: usize,
+    },
+    /// A message was sent along a pair that is not an edge of the topology.
+    NotAnEdge { sender: NodeId, receiver: NodeId },
+    /// The protocol did not terminate within the allowed number of rounds.
+    RoundLimitExceeded { limit: u64 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnicastInBroadcastModel { sender } => {
+                write!(f, "node {sender} attempted unicast in a broadcast model")
+            }
+            SimError::InvalidNode { node, n } => {
+                write!(f, "node id {node} out of range for n = {n}")
+            }
+            SimError::SelfMessage { node } => write!(f, "node {node} attempted to message itself"),
+            SimError::DuplicateMessage { sender, receiver } => {
+                write!(f, "duplicate message from {sender} to {receiver} in one round")
+            }
+            SimError::BandwidthExceeded {
+                sender,
+                receiver,
+                bits,
+                bandwidth,
+            } => match receiver {
+                Some(receiver) => write!(
+                    f,
+                    "message of {bits} bits from {sender} to {receiver} exceeds bandwidth {bandwidth}"
+                ),
+                None => write!(
+                    f,
+                    "broadcast of {bits} bits from {sender} exceeds bandwidth {bandwidth}"
+                ),
+            },
+            SimError::NotAnEdge { sender, receiver } => {
+                write!(f, "pair ({sender}, {receiver}) is not an edge of the topology")
+            }
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not terminate within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// `ceil(log2(x))` for `x >= 1`, and 0 for `x == 0` or `x == 1`.
+pub fn log2_ceil(x: usize) -> usize {
+    if x <= 1 {
+        0
+    } else {
+        (usize::BITS - (x - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        let u = CliqueConfig::unicast(8, 3);
+        assert_eq!(u.mode, CommMode::Unicast);
+        assert_eq!(u.bits_per_round(), 8 * 7 * 3);
+        let b = CliqueConfig::broadcast(8, 3);
+        assert_eq!(b.mode, CommMode::Broadcast);
+        assert_eq!(b.bits_per_round(), 8 * 3);
+        assert_eq!(CliqueConfig::unicast_logn(1024).bandwidth, 10);
+        assert_eq!(CliqueConfig::broadcast_logn(2).bandwidth, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        CliqueConfig::unicast(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one player")]
+    fn zero_players_rejected() {
+        CliqueConfig::broadcast(0, 1);
+    }
+
+    #[test]
+    fn clique_topology_connectivity() {
+        let t = Topology::Clique;
+        assert!(t.connected(NodeId::new(0), NodeId::new(5)));
+        assert!(!t.connected(NodeId::new(3), NodeId::new(3)));
+        assert_eq!(t.neighbors(NodeId::new(1), 4).len(), 3);
+    }
+
+    #[test]
+    fn graph_topology_connectivity() {
+        let adj = AdjacencyTopology::from_edges(4, &[(0, 1), (1, 2), (2, 2)]);
+        let t = Topology::Graph(adj.clone());
+        assert!(t.connected(NodeId::new(0), NodeId::new(1)));
+        assert!(t.connected(NodeId::new(2), NodeId::new(1)));
+        assert!(!t.connected(NodeId::new(0), NodeId::new(2)));
+        assert!(!t.connected(NodeId::new(2), NodeId::new(2)));
+        assert_eq!(adj.neighbors(NodeId::new(1)).len(), 2);
+        assert_eq!(adj.neighbors(NodeId::new(3)).len(), 0);
+        assert_eq!(adj.len(), 4);
+    }
+
+    #[test]
+    fn congest_config_checks_size() {
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        let cfg = CliqueConfig::congest(3, 2, adj);
+        assert!(matches!(cfg.topology, Topology::Graph(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "topology has")]
+    fn congest_config_size_mismatch_panics() {
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        let _ = CliqueConfig::congest(4, 2, adj);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            CliqueConfig::unicast(16, 4).to_string(),
+            "CLIQUE-UCAST(n=16, b=4)"
+        );
+        assert_eq!(
+            CliqueConfig::broadcast(16, 4).to_string(),
+            "CLIQUE-BCAST(n=16, b=4)"
+        );
+        let adj = AdjacencyTopology::from_edges(2, &[(0, 1)]);
+        assert_eq!(
+            CliqueConfig::congest(2, 1, adj).to_string(),
+            "CONGEST-UCAST(n=2, b=1)"
+        );
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(8), 3);
+        assert_eq!(log2_ceil(9), 4);
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError::BandwidthExceeded {
+            sender: NodeId::new(1),
+            receiver: Some(NodeId::new(2)),
+            bits: 10,
+            bandwidth: 4,
+        };
+        assert!(e.to_string().contains("exceeds bandwidth"));
+        let e2 = SimError::RoundLimitExceeded { limit: 7 };
+        assert!(e2.to_string().contains("7 rounds"));
+    }
+}

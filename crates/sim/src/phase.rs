@@ -1,0 +1,480 @@
+//! The high-level bulk-synchronous phase engine.
+//!
+//! Most of the paper's algorithms are naturally described in *phases*: "every
+//! node broadcasts an `O(k log n)`-bit message", "route this balanced demand",
+//! "each player sends its `b`-bit summary to the owner of the heavy gate".
+//! Writing these against the bit-strict [`RoundEngine`](crate::engine) would
+//! force every algorithm to re-implement chunking of long messages into
+//! `b`-bit pieces. [`PhaseEngine`] does this accounting centrally: a phase
+//! delivers arbitrarily long logical messages and is charged
+//! `ceil(max link load / b)` rounds, which is exactly the number of rounds the
+//! chunked execution would take in the respective model.
+//!
+//! The engine never interprets payloads; information-flow discipline (a node
+//! may only use what it has received) is the responsibility of the protocol
+//! implementation, and the protocol implementations in `clique-core` are
+//! structured so that per-node state is only updated from delivered inboxes.
+
+use crate::bits::BitString;
+use crate::metrics::{Metrics, PhaseRecord};
+use crate::model::{CliqueConfig, CommMode, SimError};
+use crate::node::NodeId;
+
+/// Logical outgoing data of one node during one phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseOutbox {
+    broadcast: Option<BitString>,
+    unicasts: Vec<(NodeId, BitString)>,
+}
+
+impl PhaseOutbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the broadcast payload for this phase (replacing any previous one).
+    pub fn broadcast(&mut self, message: BitString) {
+        self.broadcast = Some(message);
+    }
+
+    /// Appends a unicast payload for `dst`; multiple sends to the same
+    /// destination within a phase are concatenated in order.
+    pub fn send(&mut self, dst: NodeId, message: BitString) {
+        self.unicasts.push((dst, message));
+    }
+
+    /// Returns `true` if nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.broadcast.is_none() && self.unicasts.is_empty()
+    }
+}
+
+/// Messages delivered to one node at the end of a phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseInbox {
+    broadcasts: Vec<Option<BitString>>,
+    unicasts: Vec<Option<BitString>>,
+}
+
+impl PhaseInbox {
+    fn empty(n: usize) -> Self {
+        Self {
+            broadcasts: vec![None; n],
+            unicasts: vec![None; n],
+        }
+    }
+
+    /// The broadcast written by `sender` during the phase, if any.
+    pub fn broadcast_from(&self, sender: NodeId) -> Option<&BitString> {
+        self.broadcasts
+            .get(sender.index())
+            .and_then(|m| m.as_ref())
+    }
+
+    /// The (concatenated) unicast payload received from `sender`, if any.
+    pub fn unicast_from(&self, sender: NodeId) -> Option<&BitString> {
+        self.unicasts.get(sender.index()).and_then(|m| m.as_ref())
+    }
+
+    /// Iterates over `(sender, payload)` pairs of broadcasts received.
+    pub fn broadcasts(&self) -> impl Iterator<Item = (NodeId, &BitString)> {
+        self.broadcasts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|m| (NodeId::new(i), m)))
+    }
+
+    /// Iterates over `(sender, payload)` pairs of unicasts received.
+    pub fn unicasts(&self) -> impl Iterator<Item = (NodeId, &BitString)> {
+        self.unicasts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|m| (NodeId::new(i), m)))
+    }
+
+    /// Total number of payload bits received.
+    pub fn received_bits(&self) -> usize {
+        self.broadcasts
+            .iter()
+            .chain(self.unicasts.iter())
+            .filter_map(|m| m.as_ref())
+            .map(BitString::len)
+            .sum()
+    }
+}
+
+/// Bulk-synchronous executor with exact round accounting.
+///
+/// # Examples
+///
+/// ```
+/// use clique_sim::prelude::*;
+/// use clique_sim::phase::{PhaseEngine, PhaseOutbox};
+///
+/// # fn main() -> Result<(), clique_sim::model::SimError> {
+/// // Four players, blackboard bandwidth 2 bits/round.
+/// let mut engine = PhaseEngine::new(CliqueConfig::broadcast(4, 2));
+///
+/// // Every node broadcasts a 6-bit value: ceil(6 / 2) = 3 rounds.
+/// let outs: Vec<PhaseOutbox> = (0..4)
+///     .map(|i| {
+///         let mut out = PhaseOutbox::new();
+///         out.broadcast(BitString::from_bits(i as u64, 6));
+///         out
+///     })
+///     .collect();
+/// let inboxes = engine.exchange("announce", outs)?;
+/// assert_eq!(engine.rounds(), 3);
+/// assert_eq!(
+///     inboxes[0].broadcast_from(NodeId::new(3)).unwrap().reader().read_bits(6),
+///     Some(3)
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhaseEngine {
+    config: CliqueConfig,
+    metrics: Metrics,
+}
+
+impl PhaseEngine {
+    /// Creates a phase engine for the given model.
+    pub fn new(config: CliqueConfig) -> Self {
+        Self {
+            config,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &CliqueConfig {
+        &self.config
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Rounds charged so far.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds
+    }
+
+    /// Total bits charged so far.
+    pub fn total_bits(&self) -> u64 {
+        self.metrics.total_bits
+    }
+
+    /// Executes one phase: `outs[i]` is node `i`'s outgoing data.
+    ///
+    /// The phase is charged `ceil(L / b)` rounds where `L` is the maximum
+    /// load of any link (unicast) or any node's blackboard message
+    /// (broadcast). An all-silent phase is charged zero rounds.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnicastInBroadcastModel`] if a unicast payload is
+    ///   submitted in a broadcast model.
+    /// * [`SimError::InvalidNode`], [`SimError::SelfMessage`],
+    ///   [`SimError::NotAnEdge`] for malformed destinations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outs.len() != config.n`.
+    pub fn exchange(
+        &mut self,
+        label: &str,
+        outs: Vec<PhaseOutbox>,
+    ) -> Result<Vec<PhaseInbox>, SimError> {
+        let n = self.config.n;
+        let b = self.config.bandwidth as u64;
+        assert_eq!(outs.len(), n, "expected {} outboxes, got {}", n, outs.len());
+
+        let mut inboxes: Vec<PhaseInbox> = (0..n).map(|_| PhaseInbox::empty(n)).collect();
+        // Per-link loads for round accounting. `link_load[i]` is, in the
+        // unicast model, the maximum over destinations of bits sent by `i`
+        // to that destination; in the broadcast model it is the blackboard
+        // message length of `i`.
+        let mut max_load = 0u64;
+        let mut total_bits = 0u64;
+        let mut messages = 0u64;
+
+        for (i, out) in outs.into_iter().enumerate() {
+            let sender = NodeId::new(i);
+            // Per-destination aggregated unicast loads for this sender.
+            let mut dest_load = vec![0u64; n];
+
+            if let Some(msg) = &out.broadcast {
+                let len = msg.len() as u64;
+                match self.config.mode {
+                    CommMode::Broadcast => {
+                        total_bits += len;
+                        max_load = max_load.max(len);
+                    }
+                    CommMode::Unicast => {
+                        // A broadcast in the unicast model occupies every
+                        // outgoing link.
+                        let receivers = self.config.topology.neighbors(sender, n);
+                        total_bits += len * receivers.len() as u64;
+                        for dst in receivers {
+                            dest_load[dst.index()] += len;
+                        }
+                    }
+                }
+                if len > 0 {
+                    messages += 1;
+                }
+                for dst in self.config.topology.neighbors(sender, n) {
+                    inboxes[dst.index()].broadcasts[sender.index()] = Some(msg.clone());
+                }
+            }
+
+            for (dst, msg) in out.unicasts {
+                if self.config.mode == CommMode::Broadcast {
+                    return Err(SimError::UnicastInBroadcastModel { sender });
+                }
+                if dst.index() >= n {
+                    return Err(SimError::InvalidNode { node: dst, n });
+                }
+                if dst == sender {
+                    return Err(SimError::SelfMessage { node: sender });
+                }
+                if !self.config.topology.connected(sender, dst) {
+                    return Err(SimError::NotAnEdge {
+                        sender,
+                        receiver: dst,
+                    });
+                }
+                let len = msg.len() as u64;
+                dest_load[dst.index()] += len;
+                total_bits += len;
+                if len > 0 {
+                    messages += 1;
+                }
+                let slot = &mut inboxes[dst.index()].unicasts[sender.index()];
+                match slot {
+                    Some(existing) => existing.extend_from(&msg),
+                    None => *slot = Some(msg),
+                }
+            }
+
+            if self.config.mode == CommMode::Unicast {
+                if let Some(load) = dest_load.iter().copied().max() {
+                    max_load = max_load.max(load);
+                }
+            }
+        }
+
+        let rounds = max_load.div_ceil(b);
+        self.metrics.record_phase(PhaseRecord {
+            label: label.to_owned(),
+            rounds,
+            bits: total_bits,
+            messages,
+            max_link_bits_per_round: max_load.min(b),
+        });
+        Ok(inboxes)
+    }
+
+    /// Convenience wrapper for a pure broadcast phase: node `i` broadcasts
+    /// `messages[i]`. Returns the per-node inboxes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Self::exchange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages.len() != config.n`.
+    pub fn broadcast_all(
+        &mut self,
+        label: &str,
+        messages: &[BitString],
+    ) -> Result<Vec<PhaseInbox>, SimError> {
+        let outs = messages
+            .iter()
+            .map(|m| {
+                let mut out = PhaseOutbox::new();
+                if !m.is_empty() {
+                    out.broadcast(m.clone());
+                }
+                out
+            })
+            .collect();
+        self.exchange(label, outs)
+    }
+
+    /// Charges additional rounds without moving data, e.g. to account for a
+    /// black-box subroutine whose round cost is known analytically.
+    pub fn charge_rounds(&mut self, label: &str, rounds: u64) {
+        self.metrics.record_phase(PhaseRecord {
+            label: label.to_owned(),
+            rounds,
+            bits: 0,
+            messages: 0,
+            max_link_bits_per_round: 0,
+        });
+    }
+
+    /// Merges the metrics of a nested execution into this engine.
+    pub fn absorb_metrics(&mut self, other: &Metrics) {
+        self.metrics.absorb(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broadcast_out(value: u64, width: usize) -> PhaseOutbox {
+        let mut out = PhaseOutbox::new();
+        out.broadcast(BitString::from_bits(value, width));
+        out
+    }
+
+    #[test]
+    fn broadcast_phase_round_accounting() {
+        let mut engine = PhaseEngine::new(CliqueConfig::broadcast(3, 4));
+        let outs = vec![
+            broadcast_out(1, 10),
+            broadcast_out(2, 3),
+            PhaseOutbox::new(),
+        ];
+        let inboxes = engine.exchange("test", outs).unwrap();
+        // Longest blackboard message is 10 bits, bandwidth 4 => 3 rounds.
+        assert_eq!(engine.rounds(), 3);
+        // Blackboard bits: 10 + 3.
+        assert_eq!(engine.total_bits(), 13);
+        assert_eq!(
+            inboxes[2]
+                .broadcast_from(NodeId::new(0))
+                .unwrap()
+                .reader()
+                .read_bits(10),
+            Some(1)
+        );
+        assert!(inboxes[0].broadcast_from(NodeId::new(2)).is_none());
+        // A node does not receive its own broadcast.
+        assert!(inboxes[0].broadcast_from(NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn silent_phase_costs_nothing() {
+        let mut engine = PhaseEngine::new(CliqueConfig::broadcast(2, 1));
+        let outs = vec![PhaseOutbox::new(), PhaseOutbox::new()];
+        engine.exchange("silent", outs).unwrap();
+        assert_eq!(engine.rounds(), 0);
+        assert_eq!(engine.total_bits(), 0);
+    }
+
+    #[test]
+    fn unicast_phase_aggregates_per_destination() {
+        let mut engine = PhaseEngine::new(CliqueConfig::unicast(4, 2));
+        let mut out0 = PhaseOutbox::new();
+        out0.send(NodeId::new(1), BitString::from_bits(0b11, 2));
+        out0.send(NodeId::new(1), BitString::from_bits(0b01, 2));
+        out0.send(NodeId::new(2), BitString::from_bits(0b1, 1));
+        let outs = vec![out0, PhaseOutbox::new(), PhaseOutbox::new(), PhaseOutbox::new()];
+        let inboxes = engine.exchange("route", outs).unwrap();
+        // Link 0->1 carries 4 bits, bandwidth 2 => 2 rounds.
+        assert_eq!(engine.rounds(), 2);
+        assert_eq!(engine.total_bits(), 5);
+        let agg = inboxes[1].unicast_from(NodeId::new(0)).unwrap();
+        assert_eq!(agg.len(), 4);
+        let mut r = agg.reader();
+        assert_eq!(r.read_bits(2), Some(0b11));
+        assert_eq!(r.read_bits(2), Some(0b01));
+    }
+
+    #[test]
+    fn unicast_broadcast_counts_every_link() {
+        let mut engine = PhaseEngine::new(CliqueConfig::unicast(5, 3));
+        let outs = vec![
+            broadcast_out(0b101, 3),
+            PhaseOutbox::new(),
+            PhaseOutbox::new(),
+            PhaseOutbox::new(),
+            PhaseOutbox::new(),
+        ];
+        engine.exchange("bcast-as-unicast", outs).unwrap();
+        assert_eq!(engine.rounds(), 1);
+        assert_eq!(engine.total_bits(), 3 * 4);
+    }
+
+    #[test]
+    fn unicast_rejected_in_broadcast_model() {
+        let mut engine = PhaseEngine::new(CliqueConfig::broadcast(3, 2));
+        let mut out = PhaseOutbox::new();
+        out.send(NodeId::new(1), BitString::from_bits(1, 1));
+        let outs = vec![out, PhaseOutbox::new(), PhaseOutbox::new()];
+        assert!(matches!(
+            engine.exchange("bad", outs),
+            Err(SimError::UnicastInBroadcastModel { .. })
+        ));
+    }
+
+    #[test]
+    fn congest_topology_enforced() {
+        use crate::model::AdjacencyTopology;
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        let mut engine = PhaseEngine::new(CliqueConfig::congest(3, 2, adj));
+        let mut out = PhaseOutbox::new();
+        out.send(NodeId::new(2), BitString::from_bits(1, 1));
+        let outs = vec![out, PhaseOutbox::new(), PhaseOutbox::new()];
+        assert!(matches!(
+            engine.exchange("bad edge", outs),
+            Err(SimError::NotAnEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn congest_broadcast_reaches_only_neighbors() {
+        use crate::model::AdjacencyTopology;
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        let mut engine = PhaseEngine::new(CliqueConfig::congest(3, 8, adj));
+        let outs = vec![broadcast_out(5, 3), PhaseOutbox::new(), PhaseOutbox::new()];
+        let inboxes = engine.exchange("local bcast", outs).unwrap();
+        assert!(inboxes[1].broadcast_from(NodeId::new(0)).is_some());
+        assert!(inboxes[2].broadcast_from(NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn broadcast_all_and_charge_rounds() {
+        let mut engine = PhaseEngine::new(CliqueConfig::broadcast(3, 1));
+        let msgs = vec![
+            BitString::from_bits(1, 1),
+            BitString::new(),
+            BitString::from_bits(0, 2),
+        ];
+        let inboxes = engine.broadcast_all("announce", &msgs).unwrap();
+        assert_eq!(engine.rounds(), 2);
+        assert!(inboxes[0].broadcast_from(NodeId::new(1)).is_none());
+        engine.charge_rounds("black box", 7);
+        assert_eq!(engine.rounds(), 9);
+        assert_eq!(engine.metrics().phases.len(), 2);
+    }
+
+    #[test]
+    fn received_bits_counts_everything() {
+        let mut engine = PhaseEngine::new(CliqueConfig::unicast(3, 4));
+        let mut out0 = PhaseOutbox::new();
+        out0.broadcast(BitString::from_bits(1, 2));
+        out0.send(NodeId::new(1), BitString::from_bits(3, 3));
+        let outs = vec![out0, PhaseOutbox::new(), PhaseOutbox::new()];
+        let inboxes = engine.exchange("mixed", outs).unwrap();
+        assert_eq!(inboxes[1].received_bits(), 5);
+        assert_eq!(inboxes[2].received_bits(), 2);
+        assert_eq!(inboxes[1].unicasts().count(), 1);
+        assert_eq!(inboxes[1].broadcasts().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 outboxes")]
+    fn wrong_outbox_count_panics() {
+        let mut engine = PhaseEngine::new(CliqueConfig::broadcast(3, 1));
+        let _ = engine.exchange("bad", vec![PhaseOutbox::new()]);
+    }
+}

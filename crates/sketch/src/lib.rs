@@ -1,0 +1,43 @@
+//! # clique-sketch — finite-field sketches for one-round graph reconstruction
+//!
+//! The subgraph-detection upper bounds of the paper (Theorems 7 and 9) are
+//! built on the one-round protocol of Becker et al. \[2\]: in a graph of
+//! degeneracy at most `k`, every node can publish an `O(k log n)`-bit sketch
+//! of its neighbourhood from which the entire graph can be reconstructed.
+//! This crate implements that substrate:
+//!
+//! * [`field`] — prime-field arithmetic (`F_p`, `p > n`),
+//! * [`sketch`] — linear power-sum sketches of vertex sets with exact
+//!   decoding via Newton's identities and locator-polynomial root finding,
+//! * [`reconstruct`] — the encode/peel-decode pair implementing algorithm
+//!   `A(G, k)` of Section 3.1, including detection of the failure case
+//!   "degeneracy larger than `k`".
+//!
+//! # Examples
+//!
+//! ```
+//! use clique_graphs::generators;
+//! use clique_sketch::reconstruct::{message_bits, reconstruct};
+//!
+//! // A cycle has degeneracy 2, so capacity-2 sketches reconstruct it.
+//! let g = generators::cycle(32);
+//! assert_eq!(reconstruct(&g, 2).unwrap(), g);
+//! // Each node's message is O(k log n) bits.
+//! assert!(message_bits(32, 2) <= 3 * 6 + 6);
+//!
+//! // A clique has degeneracy n-1: capacity-2 sketches report failure instead
+//! // of reconstructing something wrong.
+//! let k6 = generators::complete(6);
+//! assert!(reconstruct(&k6, 2).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod reconstruct;
+pub mod sketch;
+
+pub use field::PrimeField;
+pub use reconstruct::{decode_graph, encode_graph, reconstruct, DecodeError, NodeSketch};
+pub use sketch::PowerSumSketch;

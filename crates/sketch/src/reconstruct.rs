@@ -1,0 +1,290 @@
+//! One-round graph reconstruction from bounded-degeneracy sketches.
+//!
+//! This module implements the protocol of Becker, Matamala, Nisse, Rapaport,
+//! Suchan and Todinca ("Adding a referee to an interconnection network",
+//! IPDPS 2011) that the paper uses as algorithm `A(G, k)` in Section 3.1:
+//! every node simultaneously publishes an `O(k log n)`-bit sketch of its
+//! neighbourhood, and from the `n` sketches alone any referee can reconstruct
+//! the entire graph *provided its degeneracy is at most `k`* — and detect
+//! that the degeneracy exceeds `k` otherwise.
+//!
+//! Encoding: node `v` publishes `(deg(v), power sums of N(v))` with sketch
+//! capacity `k` ([`encode_graph`]). Decoding ([`decode_graph`]) peels the
+//! graph: while some vertex has at most `k` unrecovered incident edges, its
+//! residual sketch is decoded exactly, the recovered edges are added to the
+//! output and subtracted from the other endpoint's sketch. Because every
+//! subgraph of a degeneracy-`k` graph has a vertex of degree at most `k`,
+//! peeling never gets stuck when the degeneracy bound holds; when it does
+//! get stuck (or any decoded data is inconsistent) the decoder reports
+//! failure, which the detection algorithms of Theorems 7 and 9 interpret as
+//! "degeneracy larger than `k`".
+
+use clique_graphs::Graph;
+
+use crate::sketch::{sketch_bits, PowerSumSketch};
+
+/// The sketch a single node publishes: its degree and the power-sum sketch of
+/// its neighbourhood.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSketch {
+    /// The node's degree in the input graph.
+    pub degree: usize,
+    /// Power-sum sketch of the neighbour set (capacity `k`).
+    pub sketch: PowerSumSketch,
+}
+
+impl NodeSketch {
+    /// Number of bits this sketch occupies on the blackboard.
+    pub fn encoded_bits(&self) -> usize {
+        self.sketch.encoded_bits()
+    }
+}
+
+/// Why decoding failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Peeling got stuck: every unfinished vertex has more than `k`
+    /// unrecovered incident edges, so the degeneracy of the input graph
+    /// exceeds the sketch capacity.
+    DegeneracyExceeded {
+        /// The sketch capacity that proved insufficient.
+        capacity: usize,
+    },
+    /// A residual sketch failed to decode or decoded to inconsistent data;
+    /// with honestly-encoded inputs this also indicates that the degeneracy
+    /// bound was violated.
+    Inconsistent,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::DegeneracyExceeded { capacity } => {
+                write!(f, "graph degeneracy exceeds sketch capacity {capacity}")
+            }
+            DecodeError::Inconsistent => write!(f, "sketches are mutually inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes the neighbourhood sketches of every node of `graph` with capacity
+/// `k` (the messages of algorithm `A(G, k)`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the graph has no vertices.
+pub fn encode_graph(graph: &Graph, k: usize) -> Vec<NodeSketch> {
+    let n = graph.vertex_count();
+    assert!(n > 0, "cannot sketch the empty graph");
+    assert!(k > 0, "sketch capacity must be positive");
+    (0..n)
+        .map(|v| {
+            let mut sketch = PowerSumSketch::new(n as u64, k);
+            for &u in graph.neighbors(v) {
+                sketch.add(u as u64);
+            }
+            NodeSketch {
+                degree: graph.degree(v),
+                sketch,
+            }
+        })
+        .collect()
+}
+
+/// Reconstructs the graph from the published sketches.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::DegeneracyExceeded`] when the peeling process gets
+/// stuck (the input graph has degeneracy larger than the sketch capacity) and
+/// [`DecodeError::Inconsistent`] when a residual sketch cannot be decoded or
+/// decodes to data inconsistent with the other sketches.
+pub fn decode_graph(sketches: &[NodeSketch]) -> Result<Graph, DecodeError> {
+    let n = sketches.len();
+    let capacity = sketches
+        .first()
+        .map(|s| s.sketch.capacity())
+        .unwrap_or_default();
+    let mut graph = Graph::empty(n);
+    if n == 0 {
+        return Ok(graph);
+    }
+
+    // Residual state: sketches minus recovered edges.
+    let mut residual: Vec<PowerSumSketch> = sketches.iter().map(|s| s.sketch.clone()).collect();
+    let mut residual_degree: Vec<i64> = sketches.iter().map(|s| s.degree as i64).collect();
+    let mut finished = vec![false; n];
+
+    loop {
+        // Anything with residual degree 0 is finished (its sketch must be
+        // zero; otherwise the input is inconsistent).
+        for v in 0..n {
+            if !finished[v] && residual_degree[v] == 0 {
+                if !residual[v].is_zero() {
+                    return Err(DecodeError::Inconsistent);
+                }
+                finished[v] = true;
+            }
+        }
+        // Pick an unfinished vertex with residual degree at most k.
+        let candidate = (0..n).find(|&v| {
+            !finished[v] && residual_degree[v] > 0 && residual_degree[v] <= capacity as i64
+        });
+        let v = match candidate {
+            Some(v) => v,
+            None => {
+                return if finished.iter().all(|&f| f) {
+                    Ok(graph)
+                } else {
+                    Err(DecodeError::DegeneracyExceeded { capacity })
+                };
+            }
+        };
+
+        let neighbors = residual[v].decode().ok_or(DecodeError::Inconsistent)?;
+        if neighbors.len() as i64 != residual_degree[v] {
+            return Err(DecodeError::Inconsistent);
+        }
+        for &u64_u in &neighbors {
+            let u = u64_u as usize;
+            if u >= n || u == v {
+                return Err(DecodeError::Inconsistent);
+            }
+            if finished[u] || residual_degree[u] <= 0 || graph.has_edge(u, v) {
+                return Err(DecodeError::Inconsistent);
+            }
+            graph.add_edge(u, v);
+            // Peel the edge out of u's residual sketch.
+            residual[u].remove(v as u64);
+            residual_degree[u] -= 1;
+        }
+        // v is fully recovered.
+        residual_degree[v] = 0;
+        let expected_count = neighbors.len() as i64;
+        // Its own residual sketch is consumed entirely.
+        let mut consumed = PowerSumSketch::new(residual[v].universe(), capacity);
+        for &u in &neighbors {
+            consumed.add(u);
+        }
+        residual[v].subtract(&consumed);
+        if residual[v].count() != 0 && expected_count != 0 && !residual[v].is_zero() {
+            return Err(DecodeError::Inconsistent);
+        }
+        finished[v] = true;
+    }
+}
+
+/// Runs encode + decode in one call: the "omniscient referee" version used in
+/// tests and by the detection algorithms after the broadcast phase.
+///
+/// # Errors
+///
+/// See [`decode_graph`].
+pub fn reconstruct(graph: &Graph, k: usize) -> Result<Graph, DecodeError> {
+    decode_graph(&encode_graph(graph, k))
+}
+
+/// The number of blackboard bits each node publishes for a graph on `n`
+/// nodes with sketch capacity `k`: `O(k log n)`.
+pub fn message_bits(n: usize, k: usize) -> usize {
+    // Degree (⌈log₂ n⌉ bits) + the power-sum sketch.
+    let degree_bits = if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    };
+    degree_bits + sketch_bits(n as u64, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_graphs::{degeneracy::degeneracy, generators};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn reconstruct_simple_families() {
+        for (graph, k) in [
+            (generators::path(20), 1),
+            (generators::cycle(15), 2),
+            (generators::star(12), 1),
+            (generators::complete(6), 5),
+            (generators::complete_bipartite(3, 9), 3),
+            (generators::turan_graph(12, 3), 8),
+        ] {
+            let decoded = reconstruct(&graph, k).unwrap_or_else(|e| {
+                panic!("reconstruction failed for k={k}: {e}");
+            });
+            assert_eq!(decoded, graph);
+        }
+    }
+
+    #[test]
+    fn reconstruct_with_exact_degeneracy_capacity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for _ in 0..10 {
+            let graph = generators::random_bounded_degeneracy(40, 4, &mut rng);
+            let d = degeneracy(&graph);
+            let decoded = reconstruct(&graph, d.max(1)).expect("capacity = degeneracy suffices");
+            assert_eq!(decoded, graph);
+        }
+    }
+
+    #[test]
+    fn capacity_below_degeneracy_is_detected() {
+        let graph = generators::complete(8); // degeneracy 7
+        match reconstruct(&graph, 3) {
+            Err(DecodeError::DegeneracyExceeded { capacity }) => assert_eq!(capacity, 3),
+            other => panic!("expected DegeneracyExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let graph = Graph::empty(9);
+        assert_eq!(reconstruct(&graph, 1).unwrap(), graph);
+        assert_eq!(decode_graph(&[]).unwrap(), Graph::empty(0));
+    }
+
+    #[test]
+    fn random_graphs_round_trip_when_capacity_sufficient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        for _ in 0..8 {
+            let graph = generators::erdos_renyi(30, 0.15, &mut rng);
+            let d = degeneracy(&graph).max(1);
+            assert_eq!(reconstruct(&graph, d).unwrap(), graph);
+            assert_eq!(reconstruct(&graph, d + 3).unwrap(), graph);
+        }
+    }
+
+    #[test]
+    fn tampered_sketches_are_rejected_not_misdecoded() {
+        let graph = generators::cycle(10);
+        let mut sketches = encode_graph(&graph, 2);
+        // Corrupt one node's degree field.
+        sketches[3].degree = 7;
+        let result = decode_graph(&sketches);
+        assert!(result.is_err(), "tampered input must not decode silently");
+    }
+
+    #[test]
+    fn message_bits_grow_with_k_and_n() {
+        let base = message_bits(64, 2);
+        assert!(message_bits(64, 8) > base * 2);
+        assert!(message_bits(1024, 2) > base);
+        // O(k log n): generous explicit cap.
+        assert!(message_bits(1024, 8) <= 8 * 12 + 24);
+    }
+
+    #[test]
+    fn encoded_bits_reported_per_node() {
+        let graph = generators::cycle(16);
+        let sketches = encode_graph(&graph, 2);
+        for s in &sketches {
+            assert_eq!(s.encoded_bits(), sketch_bits(16, 2));
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Power-sum set sketches with exact decoding.
+//!
+//! A [`PowerSumSketch`] with capacity `k` over `F_p` summarises a set
+//! `S ⊆ {0, …, u-1}` by its size and the power sums
+//! `p_i = Σ_{x ∈ S} (x+1)^i (mod p)` for `i = 1, …, k` (elements are shifted
+//! by one so that the element `0` is visible in the sums). Any set of size at
+//! most `k` can be recovered exactly: Newton's identities convert the power
+//! sums into the elementary symmetric polynomials, these are the coefficients
+//! of the locator polynomial `Π_{x ∈ S}(X − (x+1))`, and the roots are found
+//! by evaluating the polynomial over the (known, polynomially small)
+//! universe.
+//!
+//! Sketches are linear: adding or removing an element updates every power sum
+//! in `O(k)` time, which is what allows the graph-reconstruction decoder to
+//! "peel" recovered edges out of the remaining sketches.
+
+use crate::field::PrimeField;
+
+/// A linear sketch of a subset of `{0, …, universe-1}` that can be decoded
+/// exactly while the set has at most `capacity` elements.
+///
+/// # Examples
+///
+/// ```
+/// use clique_sketch::sketch::PowerSumSketch;
+///
+/// let mut sketch = PowerSumSketch::new(100, 4);
+/// for x in [3u64, 17, 42] {
+///     sketch.add(x);
+/// }
+/// assert_eq!(sketch.decode(), Some(vec![3, 17, 42]));
+///
+/// sketch.remove(17);
+/// assert_eq!(sketch.decode(), Some(vec![3, 42]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PowerSumSketch {
+    field: PrimeField,
+    universe: u64,
+    capacity: usize,
+    /// Signed cardinality of the sketched (multi)set; removals below zero are
+    /// tracked so that `subtract` is a total operation.
+    count: i64,
+    /// `sums[i]` is the `(i+1)`-st power sum.
+    sums: Vec<u64>,
+}
+
+impl PowerSumSketch {
+    /// Creates an empty sketch for subsets of `{0, …, universe-1}` of size at
+    /// most `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `universe == 0`.
+    pub fn new(universe: u64, capacity: usize) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(capacity > 0, "capacity must be positive");
+        let field = PrimeField::for_universe(universe + 1, capacity as u64);
+        Self {
+            field,
+            universe,
+            capacity,
+            count: 0,
+            sums: vec![0; capacity],
+        }
+    }
+
+    /// The sketch capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The universe size.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> PrimeField {
+        self.field
+    }
+
+    /// Net number of elements currently sketched (insertions minus removals).
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// Returns `true` if the sketch is identically zero (empty set).
+    pub fn is_zero(&self) -> bool {
+        self.count == 0 && self.sums.iter().all(|&s| s == 0)
+    }
+
+    /// Adds element `x` to the sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= universe`.
+    pub fn add(&mut self, x: u64) {
+        self.update(x, true);
+    }
+
+    /// Removes element `x` from the sketch (the inverse of [`Self::add`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= universe`.
+    pub fn remove(&mut self, x: u64) {
+        self.update(x, false);
+    }
+
+    fn update(&mut self, x: u64, insert: bool) {
+        assert!(x < self.universe, "element {x} outside universe {}", self.universe);
+        let shifted = self.field.reduce(x + 1);
+        let mut power = 1u64;
+        for sum in &mut self.sums {
+            power = self.field.mul(power, shifted);
+            *sum = if insert {
+                self.field.add(*sum, power)
+            } else {
+                self.field.sub(*sum, power)
+            };
+        }
+        self.count += if insert { 1 } else { -1 };
+    }
+
+    /// The raw power sums (for serialisation).
+    pub fn power_sums(&self) -> &[u64] {
+        &self.sums
+    }
+
+    /// Rebuilds a sketch from raw parts (as received over the network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sums.len() != capacity` or the parameters are invalid.
+    pub fn from_parts(universe: u64, capacity: usize, count: i64, sums: Vec<u64>) -> Self {
+        assert_eq!(sums.len(), capacity, "expected {capacity} power sums");
+        let mut sketch = Self::new(universe, capacity);
+        sketch.count = count;
+        sketch.sums = sums.into_iter().map(|s| sketch.field.reduce(s)).collect();
+        sketch
+    }
+
+    /// Pointwise difference `self − other`, used by the peeling decoder to
+    /// remove already-recovered edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches have different parameters.
+    pub fn subtract(&mut self, other: &PowerSumSketch) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            *s = self.field.sub(*s, *o);
+        }
+        self.count -= other.count;
+    }
+
+    /// Decodes the sketched set, provided it has between 0 and `capacity`
+    /// elements.
+    ///
+    /// Returns the sorted elements, or `None` if decoding fails — which
+    /// happens exactly when the sketch does not correspond to a set of at
+    /// most `capacity` distinct universe elements (e.g. the true set was
+    /// larger than the capacity, or removals made it inconsistent).
+    pub fn decode(&self) -> Option<Vec<u64>> {
+        if self.count < 0 || self.count as usize > self.capacity {
+            return None;
+        }
+        let d = self.count as usize;
+        if d == 0 {
+            return if self.is_zero() { Some(Vec::new()) } else { None };
+        }
+        let f = self.field;
+
+        // Newton's identities: i·e_i = Σ_{j=1..i} (−1)^{j−1} e_{i−j} p_j,
+        // with e_0 = 1.
+        let mut elementary = vec![0u64; d + 1];
+        elementary[0] = 1;
+        for i in 1..=d {
+            let mut acc = 0u64;
+            for j in 1..=i {
+                let term = f.mul(elementary[i - j], self.sums[j - 1]);
+                if j % 2 == 1 {
+                    acc = f.add(acc, term);
+                } else {
+                    acc = f.sub(acc, term);
+                }
+            }
+            elementary[i] = f.mul(acc, f.inv(i as u64));
+        }
+
+        // Locator polynomial Π (X − r) = Σ_{i=0..d} (−1)^i e_i X^{d−i};
+        // store coefficients constant-term-first for Horner evaluation.
+        let mut coeffs = vec![0u64; d + 1];
+        for (i, &e) in elementary.iter().enumerate() {
+            let signed = if i % 2 == 0 { e } else { f.neg(e) };
+            coeffs[d - i] = signed;
+        }
+
+        // Find roots among the (shifted) universe elements.
+        let mut roots = Vec::with_capacity(d);
+        for x in 0..self.universe {
+            if f.eval_poly(&coeffs, f.reduce(x + 1)) == 0 {
+                roots.push(x);
+                if roots.len() > d {
+                    break;
+                }
+            }
+        }
+        if roots.len() != d {
+            return None;
+        }
+        // Verify: re-sketch the recovered set and compare, to reject
+        // accidental factorisations that do not match the original sums.
+        let mut check = PowerSumSketch::new(self.universe, self.capacity);
+        for &r in &roots {
+            check.add(r);
+        }
+        if check.sums == self.sums {
+            Some(roots)
+        } else {
+            None
+        }
+    }
+
+    /// Number of bits needed to transmit this sketch: the count plus
+    /// `capacity` field elements.
+    pub fn encoded_bits(&self) -> usize {
+        sketch_bits(self.universe, self.capacity)
+    }
+}
+
+/// Number of bits needed to transmit a sketch over `{0,…,universe-1}` with
+/// the given capacity: a set size in `0..=universe` plus `capacity` field
+/// elements. This is the `O(k log n)` message of Becker et al.
+pub fn sketch_bits(universe: u64, capacity: usize) -> usize {
+    let field = PrimeField::for_universe(universe + 1, capacity as u64);
+    let count_bits = clique_sim_bits(universe + 1);
+    count_bits + capacity * field.element_bits()
+}
+
+fn clique_sim_bits(universe: u64) -> usize {
+    if universe <= 1 {
+        0
+    } else {
+        (64 - (universe - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_sketch_decodes_to_empty_set() {
+        let sketch = PowerSumSketch::new(50, 3);
+        assert!(sketch.is_zero());
+        assert_eq!(sketch.decode(), Some(vec![]));
+        assert_eq!(sketch.count(), 0);
+    }
+
+    #[test]
+    fn add_and_decode_small_sets() {
+        for set in [vec![0u64], vec![0, 1], vec![5, 9, 49], vec![10, 20, 30, 40]] {
+            let mut sketch = PowerSumSketch::new(50, 4);
+            for &x in &set {
+                sketch.add(x);
+            }
+            let mut expected = set.clone();
+            expected.sort_unstable();
+            assert_eq!(sketch.decode(), Some(expected), "failed for {set:?}");
+        }
+    }
+
+    #[test]
+    fn element_zero_is_distinguishable() {
+        let mut with_zero = PowerSumSketch::new(10, 2);
+        with_zero.add(0);
+        let empty = PowerSumSketch::new(10, 2);
+        assert_ne!(with_zero, empty);
+        assert_eq!(with_zero.decode(), Some(vec![0]));
+    }
+
+    #[test]
+    fn over_capacity_fails_cleanly() {
+        let mut sketch = PowerSumSketch::new(30, 3);
+        for x in [1u64, 2, 3, 4] {
+            sketch.add(x);
+        }
+        assert_eq!(sketch.decode(), None);
+        // Removing one element brings it back within capacity.
+        sketch.remove(4);
+        assert_eq!(sketch.decode(), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn add_remove_round_trip_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut sketch = PowerSumSketch::new(200, 6);
+        let mut elements: Vec<u64> = (0..200).collect();
+        elements.shuffle(&mut rng);
+        let chosen: Vec<u64> = elements.drain(..20).collect();
+        for &x in &chosen {
+            sketch.add(x);
+        }
+        for &x in &chosen {
+            sketch.remove(x);
+        }
+        assert!(sketch.is_zero());
+        assert_eq!(sketch.decode(), Some(vec![]));
+    }
+
+    #[test]
+    fn subtract_peels_correctly() {
+        let mut a = PowerSumSketch::new(64, 5);
+        for x in [1u64, 2, 3, 10, 20] {
+            a.add(x);
+        }
+        let mut b = PowerSumSketch::new(64, 5);
+        for x in [2u64, 20] {
+            b.add(x);
+        }
+        a.subtract(&b);
+        assert_eq!(a.decode(), Some(vec![1, 3, 10]));
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        let mut sketch = PowerSumSketch::new(100, 4);
+        for x in [7u64, 77] {
+            sketch.add(x);
+        }
+        let rebuilt = PowerSumSketch::from_parts(
+            100,
+            4,
+            sketch.count(),
+            sketch.power_sums().to_vec(),
+        );
+        assert_eq!(rebuilt.decode(), Some(vec![7, 77]));
+    }
+
+    #[test]
+    fn random_sets_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for trial in 0..30 {
+            let universe = 150u64;
+            let capacity = 1 + (trial % 8);
+            let size = trial % (capacity + 1);
+            let mut all: Vec<u64> = (0..universe).collect();
+            all.shuffle(&mut rng);
+            let mut set: Vec<u64> = all.into_iter().take(size).collect();
+            let mut sketch = PowerSumSketch::new(universe, capacity);
+            for &x in &set {
+                sketch.add(x);
+            }
+            set.sort_unstable();
+            assert_eq!(sketch.decode(), Some(set));
+        }
+    }
+
+    #[test]
+    fn encoded_bits_scale_as_k_log_n() {
+        let small = sketch_bits(100, 2);
+        let large = sketch_bits(100, 8);
+        assert!(large > 3 * small / 2);
+        // O(k log n): 8 elements of ~7 bits plus a 7-bit count.
+        assert!(sketch_bits(100, 8) <= 8 * 8 + 8);
+        assert_eq!(
+            PowerSumSketch::new(100, 8).encoded_bits(),
+            sketch_bits(100, 8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_element_panics() {
+        let mut sketch = PowerSumSketch::new(10, 2);
+        sketch.add(10);
+    }
+}

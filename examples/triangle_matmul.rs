@@ -1,0 +1,75 @@
+//! Triangle detection through matrix-multiplication circuits (Section 2.1).
+//!
+//! Compares four triangle-detection protocols on the same inputs: the trivial
+//! broadcast, the DLP-style deterministic protocol, and the Section 2.1 route
+//! through F2 matrix-multiplication circuits (naive cubic and Strassen),
+//! which exercises the Theorem 2 circuit simulation end-to-end.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example triangle_matmul
+//! ```
+
+use congested_clique::graphs::{generators, iso};
+use congested_clique::sim::SimError;
+use congested_clique::triangle::{
+    detect_triangle_dlp, detect_triangle_trivial, detect_triangle_via_matmul, MatMulStrategy,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), SimError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let n = 16;
+    let bandwidth = 8;
+
+    let instances = vec![
+        ("dense G(n, 1/2)", generators::erdos_renyi(n, 0.5, &mut rng)),
+        (
+            "sparse with planted triangle",
+            generators::plant_copy(
+                &generators::erdos_renyi(n, 1.0 / n as f64, &mut rng),
+                &generators::complete(3),
+                &mut rng,
+            )
+            .0,
+        ),
+        (
+            "bipartite (triangle-free)",
+            generators::complete_bipartite(n / 2, n / 2),
+        ),
+    ];
+
+    for (name, graph) in instances {
+        println!(
+            "== {name}: {} edges, ground truth has_triangle = {} ==",
+            graph.edge_count(),
+            iso::has_triangle(&graph)
+        );
+        let trivial = detect_triangle_trivial(&graph, bandwidth)?;
+        println!(
+            "  trivial broadcast      : contains = {:5}, rounds = {:4}",
+            trivial.contains, trivial.rounds
+        );
+        let dlp = detect_triangle_dlp(&graph, bandwidth)?;
+        println!(
+            "  DLP (deterministic)    : contains = {:5}, rounds = {:4}",
+            dlp.contains, dlp.rounds
+        );
+        for strategy in [MatMulStrategy::Naive, MatMulStrategy::Strassen] {
+            let out = detect_triangle_via_matmul(&graph, bandwidth, strategy, 3, &mut rng)?;
+            println!(
+                "  {:<22} : contains = {:5}, rounds = {:4} (Theorem 2 simulation of the F2 product)",
+                strategy.name(),
+                out.contains,
+                out.rounds
+            );
+        }
+        println!();
+    }
+    println!("Under the matrix-multiplication conjecture of Section 2.1 the circuit route would");
+    println!("run in O(n^ε) rounds at bandwidth 1; with the explicit circuits available (ω = 3,");
+    println!("ω ≈ 2.81) its cost is dominated by the circuits' wire density, as measured above.");
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! Property-based tests (proptest) on the core invariants of the workspace.
+//!
+//! Each property is checked on randomly generated inputs: bit-string
+//! round-trips, degeneracy orderings, sketch reconstruction, circuit
+//! simulation vs direct evaluation, detection protocols vs the
+//! subgraph-isomorphism oracle, Behrend sets, and the lower-bound gadget
+//! semantics of Observation 11.
+
+use congested_clique::circuits::{builders, Circuit, GateKind};
+use congested_clique::comm::disjointness::DisjointnessInstance;
+use congested_clique::comm::lbgraph::LowerBoundGraph;
+use congested_clique::graphs::behrend::{behrend_set, is_3ap_free};
+use congested_clique::graphs::degeneracy::{degeneracy_ordering, verify_elimination_order};
+use congested_clique::graphs::{generators, iso, Graph, Pattern};
+use congested_clique::sim::prelude::*;
+use congested_clique::sketch::reconstruct::reconstruct;
+use congested_clique::subgraph::detect_subgraph_turan;
+use congested_clique::triangle::detect_triangle_dlp;
+use congested_clique::{simulate_circuit, InputPartition};
+use proptest::prelude::*;
+use rand::Rng as _;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a graph on `n` nodes from a seed, with edge density `p` in [0, 1].
+fn seeded_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    generators::erdos_renyi(n, p, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bitstring_round_trips(values in prop::collection::vec((0u64..1 << 20, 1usize..21), 0..20)) {
+        let mut bits = BitString::new();
+        for &(v, w) in &values {
+            bits.push_bits(v & ((1 << w) - 1), w);
+        }
+        let mut reader = bits.reader();
+        for &(v, w) in &values {
+            prop_assert_eq!(reader.read_bits(w), Some(v & ((1 << w) - 1)));
+        }
+        prop_assert!(reader.is_exhausted());
+    }
+
+    #[test]
+    fn degeneracy_ordering_is_always_a_witness(n in 1usize..40, p in 0.0f64..1.0, seed in 0u64..1000) {
+        let g = seeded_graph(n, p, seed);
+        let d = degeneracy_ordering(&g);
+        prop_assert!(verify_elimination_order(&g, &d.order, d.degeneracy));
+        // The degeneracy is at most the maximum degree.
+        prop_assert!(d.degeneracy <= g.max_degree());
+    }
+
+    #[test]
+    fn sketch_reconstruction_round_trips(n in 4usize..36, k in 1usize..6, seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::random_bounded_degeneracy(n, k, &mut rng);
+        let decoded = reconstruct(&g, k.max(1));
+        prop_assert_eq!(decoded.unwrap(), g);
+    }
+
+    #[test]
+    fn sketch_reconstruction_never_returns_a_wrong_graph(n in 6usize..28, p in 0.0f64..0.8, k in 1usize..5, seed in 0u64..1000) {
+        let g = seeded_graph(n, p, seed);
+        match reconstruct(&g, k) {
+            Ok(decoded) => prop_assert_eq!(decoded, g),
+            Err(_) => {
+                // Failure is only allowed when the capacity is genuinely too
+                // small.
+                let true_d = degeneracy_ordering(&g).degeneracy;
+                prop_assert!(true_d > k, "decode failed although degeneracy {} <= k {}", true_d, k);
+            }
+        }
+    }
+
+    #[test]
+    fn behrend_sets_are_ap_free(m in 1usize..600) {
+        let s = behrend_set(m);
+        prop_assert!(!s.is_empty());
+        prop_assert!(is_3ap_free(&s));
+        prop_assert!(s.iter().all(|&x| (x as usize) < m));
+    }
+
+    #[test]
+    fn gate_summaries_respect_partitions(bits in prop::collection::vec(any::<bool>(), 1..20), parts in 1usize..6) {
+        let kinds = vec![
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Mod(3),
+            GateKind::Threshold(3),
+            GateKind::Majority,
+        ];
+        let chunk = bits.len().div_ceil(parts).max(1);
+        for kind in kinds {
+            let direct = kind.eval(&bits);
+            let summaries: Vec<u64> = bits
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, vals)| {
+                    let indexed: Vec<(usize, bool)> =
+                        vals.iter().enumerate().map(|(i, &v)| (c * chunk + i, v)).collect();
+                    kind.summary(&indexed)
+                })
+                .collect();
+            prop_assert_eq!(kind.combine(&summaries, bits.len()), direct);
+        }
+    }
+
+    #[test]
+    fn circuit_simulation_equals_direct_evaluation(
+        n_players in 2usize..8,
+        arity in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let m = n_players * n_players;
+        let circuit: Circuit = builders::parity_tree(m, arity);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let input: Vec<bool> = (0..m).map(|_| rng.gen_bool(0.5)).collect();
+        let bandwidth = circuit.wire_density(n_players) + 4;
+        let sim = simulate_circuit(&circuit, &input, n_players, bandwidth, InputPartition::RoundRobin)
+            .expect("simulation failed");
+        prop_assert_eq!(sim.outputs, circuit.evaluate(&input));
+    }
+
+    #[test]
+    fn turan_detection_matches_the_oracle(n in 12usize..30, p in 0.0f64..0.25, seed in 0u64..1000) {
+        let g = seeded_graph(n, p, seed);
+        for pattern in [Pattern::Cycle(4), Pattern::Clique(3), Pattern::Star(3)] {
+            let truth = iso::contains_subgraph(&g, &pattern.graph());
+            let outcome = detect_subgraph_turan(&g, &pattern, 4).expect("protocol failed");
+            prop_assert_eq!(outcome.contains, truth, "pattern {}", pattern);
+        }
+    }
+
+    #[test]
+    fn dlp_triangle_detection_matches_the_oracle(n in 8usize..28, p in 0.0f64..0.5, seed in 0u64..1000) {
+        let g = seeded_graph(n, p, seed);
+        let outcome = detect_triangle_dlp(&g, 4).expect("protocol failed");
+        prop_assert_eq!(outcome.contains, iso::has_triangle(&g));
+        if let Some(w) = outcome.witness {
+            prop_assert!(g.has_edge(w[0], w[1]) && g.has_edge(w[1], w[2]) && g.has_edge(w[0], w[2]));
+        }
+    }
+
+    #[test]
+    fn lower_bound_gadgets_satisfy_observation_11(
+        x_bits in prop::collection::vec(any::<bool>(), 64),
+        y_bits in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        // Fixed gadget (K4 on 28 nodes => 36 elements); random instances.
+        let lbg = LowerBoundGraph::for_clique(4, 28).unwrap();
+        let m = lbg.elements();
+        prop_assume!(m <= 64);
+        let inst = DisjointnessInstance::new(x_bits[..m].to_vec(), y_bits[..m].to_vec());
+        let g = lbg.instantiate(&inst);
+        let contains = iso::contains_subgraph(&g, &lbg.pattern().graph());
+        prop_assert_eq!(contains, !inst.is_disjoint());
+    }
+
+    #[test]
+    fn phase_engine_round_accounting_matches_ceiling(msg_bits in 0usize..200, b in 1usize..32, n in 2usize..10) {
+        let mut engine = PhaseEngine::new(CliqueConfig::broadcast(n, b));
+        let messages: Vec<BitString> = (0..n)
+            .map(|i| if i == 0 { BitString::from_bools(&vec![true; msg_bits]) } else { BitString::new() })
+            .collect();
+        engine.broadcast_all("one long message", &messages).unwrap();
+        prop_assert_eq!(engine.rounds(), (msg_bits as u64).div_ceil(b as u64));
+    }
+}
