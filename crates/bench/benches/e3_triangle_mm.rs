@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
-    group.bench_function("quick sweep", |b| b.iter(|| e3_triangle_matmul(Scale::Quick)));
+    group.bench_function("quick sweep", |b| {
+        b.iter(|| e3_triangle_matmul(Scale::Quick))
+    });
     group.finish();
 }
 

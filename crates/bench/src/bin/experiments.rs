@@ -14,6 +14,9 @@ use std::time::Instant;
 use clique_bench::experiments;
 use clique_bench::{ExperimentTable, Scale};
 
+/// One experiment: its id and the function regenerating its table.
+type Experiment = (&'static str, fn(Scale) -> ExperimentTable);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -25,7 +28,7 @@ fn main() {
         .collect();
     let scale = if quick { Scale::Quick } else { Scale::Full };
 
-    let all: Vec<(&str, fn(Scale) -> ExperimentTable)> = vec![
+    let all: Vec<Experiment> = vec![
         ("E1", experiments::e1_circuit_simulation),
         ("E2", experiments::e2_routing),
         ("E3", experiments::e3_triangle_matmul),
@@ -40,6 +43,23 @@ fn main() {
         ("E12", experiments::e12_sketch_reconstruction),
     ];
 
+    for flag in args.iter().filter(|a| a.starts_with("--")) {
+        if flag != "--quick" && flag != "--json" {
+            eprintln!("error: unknown flag {flag} (expected --quick or --json)");
+            std::process::exit(2);
+        }
+    }
+    let known: Vec<&str> = all.iter().map(|(id, _)| *id).collect();
+    for sel in &selected {
+        if !known.contains(&sel.as_str()) {
+            eprintln!(
+                "error: unknown experiment id {sel} (expected one of {})",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+
     let mut tables = Vec::new();
     for (id, run) in all {
         if !selected.is_empty() && !selected.iter().any(|s| s == id) {
@@ -53,10 +73,8 @@ fn main() {
     }
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&tables).expect("experiment tables serialise to JSON")
-        );
+        let objects: Vec<String> = tables.iter().map(ExperimentTable::to_json).collect();
+        println!("[{}]", objects.join(",\n"));
     } else {
         println!("# Experiment results (congested clique reproduction)\n");
         println!(

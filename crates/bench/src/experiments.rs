@@ -28,6 +28,9 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::table::{fmt_f64, ExperimentTable};
 
+/// A boxed router invocation measured by experiment E2.
+type RouterFn = Box<dyn FnMut(&RoutingDemand, &mut PhaseEngine) -> u64>;
+
 /// How large a parameter sweep to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -77,14 +80,19 @@ pub fn e1_circuit_simulation(scale: Scale) -> ExperimentTable {
             ("parity tree (arity 4)", builders::parity_tree(m, 4)),
             ("majority", builders::majority(m)),
             ("MOD6 of MOD6", builders::mod_of_mods(m, 6, n)),
-            ("exactly-k threshold", builders::exactly_k(m, (m / 3) as u64)),
+            (
+                "exactly-k threshold",
+                builders::exactly_k(m, (m / 3) as u64),
+            ),
             ("inner product mod 2", builders::inner_product_mod2(m / 2)),
         ];
         let mut r = rng(100 + n as u64);
         for (name, circuit) in circuits {
             let s = circuit.wire_density(n);
             let bandwidth = (s + log2_bandwidth(n)).max(circuit.max_separability_bits());
-            let input: Vec<bool> = (0..circuit.inputs().len()).map(|_| r.gen_bool(0.5)).collect();
+            let input: Vec<bool> = (0..circuit.inputs().len())
+                .map(|_| r.gen_bool(0.5))
+                .collect();
             let expected = circuit.evaluate(&input);
             let sim = simulate_circuit(&circuit, &input, n, bandwidth, InputPartition::RoundRobin)
                 .expect("simulation failed");
@@ -139,7 +147,7 @@ pub fn e2_routing(scale: Scale) -> ExperimentTable {
         }
         demands.push(("all-to-all", all_to_all));
         for (name, demand) in demands {
-            let routers: Vec<(&str, Box<dyn FnMut(&RoutingDemand, &mut PhaseEngine) -> u64>)> = vec![
+            let routers: Vec<(&str, RouterFn)> = vec![
                 (
                     "direct",
                     Box::new(|d: &RoutingDemand, e: &mut PhaseEngine| {
@@ -198,7 +206,10 @@ pub fn e3_triangle_matmul(scale: Scale) -> ExperimentTable {
             generators::plant_copy(&host, &generators::complete(3), &mut r).0
         };
         let no_instance = generators::complete_bipartite(n / 2, n - n / 2);
-        for (gname, g) in [("planted triangle", &sparse_yes), ("bipartite (no triangle)", &no_instance)] {
+        for (gname, g) in [
+            ("planted triangle", &sparse_yes),
+            ("bipartite (no triangle)", &no_instance),
+        ] {
             let truth = clique_core::graphs::iso::has_triangle(g);
             let mut runs: Vec<(&str, clique_core::DetectionOutcome)> = vec![
                 ("trivial broadcast", detect_triangle_trivial(g, b).unwrap()),
@@ -278,7 +289,8 @@ pub fn e4_subgraph_turan(scale: Scale) -> ExperimentTable {
             for (iname, g) in [("pattern-free", &free), ("planted copy", &planted)] {
                 let truth = clique_core::graphs::iso::contains_subgraph(g, &h);
                 let outcome = detect_subgraph_turan(g, &pattern, b).unwrap();
-                let predicted = pattern.ex_upper_bound(n) * (n as f64).log2() / (n as f64 * b as f64);
+                let predicted =
+                    pattern.ex_upper_bound(n) * (n as f64).log2() / (n as f64 * b as f64);
                 table.push_row(vec![
                     pattern.name(),
                     n.to_string(),
@@ -369,9 +381,15 @@ pub fn e6_lower_bound_cliques(scale: Scale) -> ExperimentTable {
         let b = log2_bandwidth(n);
         for l in [4usize, 5] {
             let mut r = rng(600 + (n + l) as u64);
-            let (lbg, report) =
-                clique_detection_lower_bound(l, n, b, DetectorKind::TrivialBroadcast, trials, &mut r)
-                    .expect("gadget construction failed");
+            let (lbg, report) = clique_detection_lower_bound(
+                l,
+                n,
+                b,
+                DetectorKind::TrivialBroadcast,
+                trials,
+                &mut r,
+            )
+            .expect("gadget construction failed");
             table.push_row(vec![
                 l.to_string(),
                 n.to_string(),
@@ -402,9 +420,14 @@ pub fn e7_lower_bound_cycles(scale: Scale) -> ExperimentTable {
         let b = log2_bandwidth(n);
         for l in [4usize, 5, 6] {
             let mut r = rng(700 + (n + l) as u64);
-            let Ok((lbg, report)) =
-                cycle_detection_lower_bound(l, n, b, DetectorKind::TrivialBroadcast, trials, &mut r)
-            else {
+            let Ok((lbg, report)) = cycle_detection_lower_bound(
+                l,
+                n,
+                b,
+                DetectorKind::TrivialBroadcast,
+                trials,
+                &mut r,
+            ) else {
                 continue;
             };
             table.push_row(vec![
@@ -491,7 +514,9 @@ pub fn e9_triangle_nof(scale: Scale) -> ExperimentTable {
             n.to_string(),
             behrend_set(m).len().to_string(),
             reduction.elements().to_string(),
-            fmt_f64(reduction.implied_bcast_rounds(DisjointnessBound::ThreePartyNofDeterministic, b)),
+            fmt_f64(
+                reduction.implied_bcast_rounds(DisjointnessBound::ThreePartyNofDeterministic, b),
+            ),
             fmt_f64(reduction.implied_bcast_rounds(DisjointnessBound::ThreePartyNofRandomized, b)),
             (n as u64).div_ceil(b as u64).to_string(),
             if trials > 0 {
@@ -534,18 +559,33 @@ pub fn e11_degeneracy_turan(scale: Scale) -> ExperimentTable {
         "E11",
         "degeneracy of H-free graphs (Claim 6)",
         "every H-free graph has degeneracy ≤ 4·ex(n,H)/n",
-        &["pattern", "n", "graph", "edges", "degeneracy", "bound 4·ex(n,H)/n"],
+        &[
+            "pattern",
+            "n",
+            "graph",
+            "edges",
+            "degeneracy",
+            "bound 4·ex(n,H)/n",
+        ],
     );
     let n = scale.pick(64, 128);
     let mut r = rng(1100);
     let cases: Vec<(Pattern, &str, Graph)> = vec![
-        (Pattern::Cycle(4), "polarity graph", extremal::dense_c4_free(n)),
+        (
+            Pattern::Cycle(4),
+            "polarity graph",
+            extremal::dense_c4_free(n),
+        ),
         (
             Pattern::Cycle(4),
             "greedy C4-free",
             extremal::greedy_pattern_free(n, &generators::cycle(4), 6 * n, &mut r),
         ),
-        (Pattern::Clique(4), "Turán graph T(n,3)", generators::turan_graph(n, 3)),
+        (
+            Pattern::Clique(4),
+            "Turán graph T(n,3)",
+            generators::turan_graph(n, 3),
+        ),
         (
             Pattern::Clique(3),
             "complete bipartite",
@@ -660,12 +700,23 @@ mod tests {
     #[test]
     fn lower_bound_experiments_are_consistent() {
         let table = e6_lower_bound_cliques(Scale::Quick);
-        let lower = table.headers.iter().position(|h| h.contains("lower")).unwrap();
-        let upper = table.headers.iter().position(|h| h.contains("upper")).unwrap();
+        let lower = table
+            .headers
+            .iter()
+            .position(|h| h.contains("lower"))
+            .unwrap();
+        let upper = table
+            .headers
+            .iter()
+            .position(|h| h.contains("upper"))
+            .unwrap();
         for row in &table.rows {
             let l: f64 = row[lower].parse().unwrap();
             let u: f64 = row[upper].parse().unwrap();
-            assert!(l <= u + 1.0, "implied lower bound {l} exceeds measured upper bound {u}");
+            assert!(
+                l <= u + 1.0,
+                "implied lower bound {l} exceeds measured upper bound {u}"
+            );
         }
     }
 }

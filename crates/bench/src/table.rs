@@ -1,9 +1,7 @@
 //! Lightweight experiment tables rendered as Markdown (and JSON).
 
-use serde::Serialize;
-
 /// One experiment's result table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentTable {
     /// Experiment identifier (e.g. `"E4"`).
     pub id: String,
@@ -43,6 +41,31 @@ impl ExperimentTable {
         self.rows.push(cells);
     }
 
+    /// Renders the table as a JSON object (hand-rolled; the build
+    /// environment has no serde).
+    pub fn to_json(&self) -> String {
+        let headers: Vec<String> = self.headers.iter().map(|h| json_string(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+                format!("[{}]", cells.join(", "))
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n  \"id\": {},\n  \"title\": {},\n  \"claim\": {},\n",
+                "  \"headers\": [{}],\n  \"rows\": [{}]\n}}"
+            ),
+            json_string(&self.id),
+            json_string(&self.title),
+            json_string(&self.claim),
+            headers.join(", "),
+            rows.join(", ")
+        )
+    }
+
     /// Renders the table as GitHub-flavoured Markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -51,7 +74,11 @@ impl ExperimentTable {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -59,6 +86,25 @@ impl ExperimentTable {
         out.push('\n');
         out
     }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a float compactly.

@@ -225,7 +225,7 @@ mod tests {
         assert_eq!(c.max_separability_bits(), 3);
         // All-zero input: every MOD6 gate sees 0 ones -> outputs 1 -> top
         // gate sees 3 ones -> 3 mod 6 != 0 -> false.
-        assert_eq!(c.evaluate(&vec![false; 12]), vec![false]);
+        assert_eq!(c.evaluate(&[false; 12]), vec![false]);
     }
 
     #[test]

@@ -390,6 +390,9 @@ mod tests {
             c.mark_output(x);
         }
         assert_eq!(c.depth(), 0);
-        assert_eq!(c.evaluate(&[true, false, true, false]), vec![true, false, true, false]);
+        assert_eq!(
+            c.evaluate(&[true, false, true, false]),
+            vec![true, false, true, false]
+        );
     }
 }

@@ -67,7 +67,7 @@ impl GateKind {
             GateKind::Xor => inputs.iter().filter(|&&x| x).count() % 2 == 1,
             GateKind::Mod(m) => {
                 assert!(*m >= 2, "MOD_m needs m >= 2");
-                inputs.iter().filter(|&&x| x).count() as u64 % m == 0
+                (inputs.iter().filter(|&&x| x).count() as u64).is_multiple_of(*m)
             }
             GateKind::Threshold(t) => (inputs.iter().filter(|&&x| x).count() as u64) >= *t,
             GateKind::Majority => 2 * inputs.iter().filter(|&&x| x).count() > inputs.len(),
@@ -145,7 +145,7 @@ impl GateKind {
             GateKind::Const(value) => *value,
             GateKind::And => summaries.iter().all(|&s| s == 1),
             GateKind::Or | GateKind::Not => {
-                let any = summaries.iter().any(|&s| s == 1);
+                let any = summaries.contains(&1);
                 if matches!(self, GateKind::Not) {
                     !any
                 } else {

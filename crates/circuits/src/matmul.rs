@@ -112,7 +112,10 @@ pub fn matmul_f2_naive(dim: usize) -> MatMulCircuit {
 ///
 /// Panics if `dim` is not a power of two or is zero.
 pub fn matmul_f2_strassen(dim: usize) -> MatMulCircuit {
-    assert!(dim > 0 && dim.is_power_of_two(), "Strassen circuit needs a power-of-two dimension");
+    assert!(
+        dim > 0 && dim.is_power_of_two(),
+        "Strassen circuit needs a power-of-two dimension"
+    );
     let mut c = Circuit::new();
     let a_inputs = c.add_inputs(dim * dim);
     let b_inputs = c.add_inputs(dim * dim);
@@ -340,9 +343,7 @@ mod tests {
     fn identity_matrix_behaviour() {
         let d = 4;
         let circuit = matmul_f2_strassen(d);
-        let identity: Vec<Vec<bool>> = (0..d)
-            .map(|i| (0..d).map(|j| i == j).collect())
-            .collect();
+        let identity: Vec<Vec<bool>> = (0..d).map(|i| (0..d).map(|j| i == j).collect()).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(43);
         let a = random_matrix(&mut rng, d);
         assert_eq!(circuit.multiply(&a, &identity), a);

@@ -235,7 +235,9 @@ impl LowerBoundGraph {
         // 4N + (ℓ - 4) ≤ n.
         let cap = (n - (l - 4)) / 4;
         if cap < 2 {
-            return Err(format!("n = {n} too small: need at least 2 nodes per group"));
+            return Err(format!(
+                "n = {n} too small: need at least 2 nodes per group"
+            ));
         }
         let big_n = cap;
         let s1 = |i: usize| i;
@@ -329,7 +331,11 @@ impl LowerBoundGraph {
         // Fixed edges: the path P_i from va_i to vb_i.
         let mut fixed = Vec::new();
         for i in 0..big_n {
-            let len = if i < half { l / 2 - 1 } else { l.div_ceil(2) - 1 };
+            let len = if i < half {
+                l / 2 - 1
+            } else {
+                l.div_ceil(2) - 1
+            };
             let mut prev = va(i);
             for _ in 0..len.saturating_sub(1) {
                 let node = next_free;
@@ -405,11 +411,11 @@ impl LowerBoundGraph {
         let big_n = (n - extra) / 2;
         let f_raw = dense_bipartite_c4_free(big_n);
         if f_raw.edge_count() == 0 {
-            return Err(format!("no C4-free bipartite graph available at N = {big_n}"));
+            return Err(format!(
+                "no C4-free bipartite graph available at N = {big_n}"
+            ));
         }
-        let coloring = f_raw
-            .bipartition()
-            .expect("incidence graphs are bipartite");
+        let coloring = f_raw.bipartition().expect("incidence graphs are bipartite");
         let left: Vec<usize> = (0..big_n).filter(|&v| !coloring[v]).collect();
 
         let u = |i: usize| i;
@@ -499,8 +505,8 @@ fn bipartite_cycle_free<R: Rng + ?Sized>(n: usize, l: usize, rng: &mut R) -> Gra
         };
         let mut first: Vec<usize> = Vec::new();
         let mut second: Vec<usize> = Vec::new();
-        for vtx in 0..n {
-            if coloring[vtx] {
+        for (vtx, &side) in coloring.iter().enumerate() {
+            if side {
                 second.push(vtx);
             } else {
                 first.push(vtx);
@@ -593,7 +599,11 @@ mod tests {
         // The cut consists of one edge per connecting path, i.e. N edges out
         // of Θ(N²) total (F = K_{N/2,N/2} for odd cycles).
         let n_vertices = lbg.vertex_count();
-        assert!(lbg.cut_size() <= n_vertices, "cut {} too large", lbg.cut_size());
+        assert!(
+            lbg.cut_size() <= n_vertices,
+            "cut {} too large",
+            lbg.cut_size()
+        );
         assert!(
             lbg.implied_congest_rounds(DisjointnessBound::TwoPartyDeterministic, 1)
                 > lbg.implied_bcast_rounds(DisjointnessBound::TwoPartyDeterministic, 1) / 4.0
@@ -623,8 +633,7 @@ mod tests {
         // With all Alice edges but no Bob edges, no copy of H may exist.
         let lbg = LowerBoundGraph::for_clique(4, 28).unwrap();
         let m = lbg.elements();
-        let only_alice =
-            lbg.instantiate(&DisjointnessInstance::new(vec![true; m], vec![false; m]));
+        let only_alice = lbg.instantiate(&DisjointnessInstance::new(vec![true; m], vec![false; m]));
         assert!(!iso::contains_subgraph(&only_alice, &lbg.pattern().graph()));
         // The full template (both sides complete) of course contains H.
         let full = lbg.instantiate(&DisjointnessInstance::new(vec![true; m], vec![true; m]));

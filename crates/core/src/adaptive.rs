@@ -217,7 +217,10 @@ mod tests {
             for pattern in [Pattern::Clique(3), Pattern::Cycle(4)] {
                 let expected = contains_subgraph(&g, &pattern.graph());
                 let run = detect_subgraph_adaptive(&g, &pattern, 6, &mut rng).unwrap();
-                assert_eq!(run.outcome.contains, expected, "pattern {pattern}, trial {trial}");
+                assert_eq!(
+                    run.outcome.contains, expected,
+                    "pattern {pattern}, trial {trial}"
+                );
             }
         }
     }

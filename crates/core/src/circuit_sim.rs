@@ -299,9 +299,7 @@ pub fn simulate_circuit(
                 for input_gate in &circuit.gate(gid).inputs {
                     if plan.heavy[input_gate.index()] {
                         let src = plan.owner[input_gate.index()];
-                        if src != gate_owner
-                            && delivered.insert((input_gate.index(), gate_owner))
-                        {
+                        if src != gate_owner && delivered.insert((input_gate.index(), gate_owner)) {
                             pending.push((input_gate.index(), src, gate_owner));
                         }
                     }
@@ -314,8 +312,7 @@ pub fn simulate_circuit(
                 outs[src].send(NodeId::new(dst), BitString::from_bits(u64::from(value), 1));
             }
             if !pending.is_empty() {
-                let inboxes =
-                    engine.exchange(&format!("layer {layer_idx}: heavy values"), outs)?;
+                let inboxes = engine.exchange(&format!("layer {layer_idx}: heavy values"), outs)?;
                 for &(gate, src, dst) in &pending {
                     let payload = inboxes[dst]
                         .unicast_from(NodeId::new(src))
@@ -387,10 +384,7 @@ pub fn simulate_circuit(
             let p = plan.owner[gid.index()];
             let value = known[p][&gid.index()];
             if p != 0 {
-                per_sender
-                    .entry(p)
-                    .or_default()
-                    .push_bit(value);
+                per_sender.entry(p).or_default().push_bit(value);
             }
         }
         for (&p, bits) in &per_sender {
@@ -572,7 +566,10 @@ mod tests {
                 let expected = circuit.evaluate(&input);
                 let outcome = simulate_circuit(circuit, &input, n, bandwidth, partition)
                     .expect("simulation failed");
-                assert_eq!(outcome.outputs, expected, "simulation disagrees with direct evaluation");
+                assert_eq!(
+                    outcome.outputs, expected,
+                    "simulation disagrees with direct evaluation"
+                );
             }
         }
     }
@@ -608,12 +605,15 @@ mod tests {
         let bandwidth = 64;
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let input = random_input(&mut rng, 64);
-        let deep_out = simulate_circuit(&deep, &input, n, bandwidth, InputPartition::RoundRobin)
-            .unwrap();
+        let deep_out =
+            simulate_circuit(&deep, &input, n, bandwidth, InputPartition::RoundRobin).unwrap();
         let shallow_out =
             simulate_circuit(&shallow, &input, n, bandwidth, InputPartition::RoundRobin).unwrap();
         assert!(deep_out.rounds > shallow_out.rounds);
-        assert!(deep_out.max_phase_rounds <= 2, "phases should be O(1) rounds");
+        assert!(
+            deep_out.max_phase_rounds <= 2,
+            "phases should be O(1) rounds"
+        );
         assert!(shallow_out.max_phase_rounds <= 2);
         // O(D) with a small constant: at most ~5 phases per layer.
         assert!(deep_out.rounds <= 5 * (deep_out.depth as u64 + 1) + 2);

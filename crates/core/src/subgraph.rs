@@ -110,7 +110,11 @@ fn decode_sketch(payload: &BitString, n: usize, capacity: usize) -> NodeSketch {
     let probe = PowerSumSketch::new(n as u64, capacity);
     let element_bits = probe.field().element_bits();
     let sums: Vec<u64> = (0..capacity)
-        .map(|_| reader.read_bits(element_bits).expect("sketch payload too short"))
+        .map(|_| {
+            reader
+                .read_bits(element_bits)
+                .expect("sketch payload too short")
+        })
         .collect();
     NodeSketch {
         degree,
@@ -134,7 +138,10 @@ pub fn detect_subgraph_turan(
     bandwidth: usize,
 ) -> Result<DetectionOutcome, SimError> {
     let n = graph.vertex_count();
-    let capacity = pattern.degeneracy_threshold(n).min(n.saturating_sub(1)).max(1);
+    let capacity = pattern
+        .degeneracy_threshold(n)
+        .min(n.saturating_sub(1))
+        .max(1);
     let run = run_reconstruction_protocol(graph, capacity, bandwidth)?;
     let (contains, witness) = match &run.result {
         Ok(reconstructed) => {
@@ -166,7 +173,11 @@ mod tests {
         assert!(run.success());
         assert_eq!(run.result.unwrap(), g);
         // Message size is O(k log n) bits, so rounds = ceil(that / b).
-        assert!(run.rounds >= 3 && run.rounds <= 8, "rounds = {}", run.rounds);
+        assert!(
+            run.rounds >= 3 && run.rounds <= 8,
+            "rounds = {}",
+            run.rounds
+        );
     }
 
     #[test]
@@ -224,11 +235,11 @@ mod tests {
         for _ in 0..6 {
             let g = generators::erdos_renyi(26, 0.12, &mut rng);
             for pattern in [Pattern::Cycle(4), Pattern::Clique(3), Pattern::Star(3)] {
-                let expected =
-                    clique_graphs::iso::contains_subgraph(&g, &pattern.graph());
+                let expected = clique_graphs::iso::contains_subgraph(&g, &pattern.graph());
                 let outcome = detect_subgraph_turan(&g, &pattern, 6).unwrap();
                 assert_eq!(
-                    outcome.contains, expected,
+                    outcome.contains,
+                    expected,
                     "pattern {pattern} on graph with {} edges (degeneracy {})",
                     g.edge_count(),
                     degeneracy(&g)

@@ -174,8 +174,8 @@ pub fn detect_triangle_via_matmul<R: Rng + ?Sized>(
         let mut flag_outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
         let mut local_hit: Vec<Option<(usize, usize)>> = vec![None; n];
         for i in 0..n {
-            for j in 0..n {
-                if graph.has_edge(i, j) && row_of_m[i][j] {
+            for (j, &hit) in row_of_m[i].iter().enumerate() {
+                if graph.has_edge(i, j) && hit {
                     local_hit[i] = Some((i, j));
                     break;
                 }
@@ -271,11 +271,8 @@ pub fn detect_triangle_dlp(graph: &Graph, bandwidth: usize) -> Result<DetectionO
             .collect();
         // Rebuild the local view from the delivered packets (plus the
         // checker's own row if it belongs to the triple).
-        let index_of: std::collections::HashMap<usize, usize> = relevant
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect();
+        let index_of: std::collections::HashMap<usize, usize> =
+            relevant.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut local = Graph::empty(relevant.len());
         for packet in &delivered[checker] {
             let Some(&src_idx) = index_of.get(&packet.src.index()) else {
@@ -375,7 +372,11 @@ mod tests {
         assert!(!has_triangle(&g));
         for strategy in [MatMulStrategy::Naive, MatMulStrategy::Strassen] {
             let outcome = detect_triangle_via_matmul(&g, 16, strategy, 3, &mut rng).unwrap();
-            assert!(!outcome.contains, "{} hallucinated a triangle", strategy.name());
+            assert!(
+                !outcome.contains,
+                "{} hallucinated a triangle",
+                strategy.name()
+            );
         }
     }
 

@@ -207,7 +207,13 @@ impl RuzsaSzemeredi {
     }
 
     /// Part sizes `(|A|, |B|, |C|)` as vertex-id ranges.
-    pub fn parts(&self) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+    pub fn parts(
+        &self,
+    ) -> (
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+    ) {
         (0..self.m, self.m..3 * self.m, 3 * self.m..6 * self.m)
     }
 }

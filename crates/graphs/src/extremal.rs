@@ -32,7 +32,7 @@ pub fn is_prime(q: usize) -> bool {
     }
     let mut d = 2;
     while d * d <= q {
-        if q % d == 0 {
+        if q.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -121,7 +121,7 @@ pub fn projective_incidence_graph(q: usize) -> Graph {
 pub fn dense_c4_free(n: usize) -> Graph {
     let mut best = Graph::empty(n);
     let mut q = 2usize;
-    while q * q + q + 1 <= n {
+    while q * q + q < n {
         if is_prime(q) {
             let core = polarity_graph(q);
             let mut padded = Graph::empty(n);
@@ -312,6 +312,9 @@ mod tests {
         let pattern = crate::generators::complete(3);
         let g = greedy_pattern_free(20, &pattern, 400, &mut rng);
         assert!(!contains_subgraph(&g, &pattern));
-        assert!(g.edge_count() >= 20, "greedy triangle-free graph too sparse");
+        assert!(
+            g.edge_count() >= 20,
+            "greedy triangle-free graph too sparse"
+        );
     }
 }

@@ -134,7 +134,11 @@ pub fn random_bounded_degeneracy<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut 
 /// # Panics
 ///
 /// Panics if `pattern` has more vertices than `host`.
-pub fn plant_copy<R: Rng + ?Sized>(host: &Graph, pattern: &Graph, rng: &mut R) -> (Graph, Vec<usize>) {
+pub fn plant_copy<R: Rng + ?Sized>(
+    host: &Graph,
+    pattern: &Graph,
+    rng: &mut R,
+) -> (Graph, Vec<usize>) {
     let n = host.vertex_count();
     let h = pattern.vertex_count();
     assert!(h <= n, "pattern has more vertices than the host");
@@ -156,7 +160,10 @@ pub fn plant_copy<R: Rng + ?Sized>(host: &Graph, pattern: &Graph, rng: &mut R) -
 /// Panics if the copies do not fit into `n` vertices.
 pub fn disjoint_copies(pattern: &Graph, copies: usize, n: usize) -> Graph {
     let h = pattern.vertex_count();
-    assert!(copies * h <= n, "{copies} copies of a {h}-vertex pattern do not fit into {n} vertices");
+    assert!(
+        copies * h <= n,
+        "{copies} copies of a {h}-vertex pattern do not fit into {n} vertices"
+    );
     let mut g = Graph::empty(n);
     for c in 0..copies {
         let offset = c * h;

@@ -56,7 +56,15 @@ pub fn count_labelled_copies(host: &Graph, pattern: &Graph) -> u64 {
     let mut assignment = vec![usize::MAX; h];
     let mut used = vec![false; host.vertex_count()];
     let mut count = 0u64;
-    count_backtrack(host, pattern, &order, 0, &mut assignment, &mut used, &mut count);
+    count_backtrack(
+        host,
+        pattern,
+        &order,
+        0,
+        &mut assignment,
+        &mut used,
+        &mut count,
+    );
     count
 }
 
@@ -125,11 +133,7 @@ fn search_order(pattern: &Graph) -> Vec<usize> {
             let next = (0..h)
                 .filter(|&v| !placed[v])
                 .map(|v| {
-                    let connectivity = pattern
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&u| placed[u])
-                        .count();
+                    let connectivity = pattern.neighbors(v).iter().filter(|&&u| placed[u]).count();
                     (connectivity, pattern.degree(v), v)
                 })
                 .max_by_key(|&(c, d, _)| (c, d));
@@ -143,8 +147,8 @@ fn search_order(pattern: &Graph) -> Vec<usize> {
         }
     }
     // Any remaining isolated-or-disconnected vertices.
-    for v in 0..h {
-        if !placed[v] {
+    for (v, &is_placed) in placed.iter().enumerate() {
+        if !is_placed {
             order.push(v);
         }
     }
@@ -275,7 +279,10 @@ mod tests {
         assert!(!contains_subgraph(&g, &generators::complete(3)));
         assert!(contains_subgraph(&g, &generators::cycle(4)));
         assert!(contains_subgraph(&g, &generators::complete_bipartite(2, 2)));
-        assert!(!contains_subgraph(&g, &generators::complete_bipartite(5, 2)));
+        assert!(!contains_subgraph(
+            &g,
+            &generators::complete_bipartite(5, 2)
+        ));
     }
 
     #[test]

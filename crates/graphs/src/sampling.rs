@@ -30,7 +30,11 @@ impl SampledSubgraphs {
     /// Samples fresh values `X_v` for every node of `graph`.
     pub fn sample<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Self {
         let n = graph.vertex_count();
-        let levels = if n <= 1 { 0 } else { (n as f64).log2().floor() as usize };
+        let levels = if n <= 1 {
+            0
+        } else {
+            (n as f64).log2().floor() as usize
+        };
         let modulus = 1u64 << levels;
         let values = (0..n).map(|_| rng.gen_range(0..modulus.max(1))).collect();
         Self::from_values(graph, values)
@@ -49,7 +53,11 @@ impl SampledSubgraphs {
             "one sample value per vertex required"
         );
         let n = graph.vertex_count();
-        let levels = if n <= 1 { 0 } else { (n as f64).log2().floor() as usize };
+        let levels = if n <= 1 {
+            0
+        } else {
+            (n as f64).log2().floor() as usize
+        };
         Self {
             values,
             levels,
@@ -66,7 +74,11 @@ impl SampledSubgraphs {
     ///
     /// Panics if `j > self.levels`.
     pub fn level(&self, j: usize) -> Graph {
-        assert!(j <= self.levels, "level {j} out of range (ℓ = {})", self.levels);
+        assert!(
+            j <= self.levels,
+            "level {j} out of range (ℓ = {})",
+            self.levels
+        );
         let modulus = 1u64 << j;
         self.graph
             .filter_edges(|u, v| self.values[u] % modulus == self.values[v] % modulus)

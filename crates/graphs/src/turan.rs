@@ -321,7 +321,9 @@ mod tests {
         assert_eq!(Pattern::Cycle(6).to_string(), "C6");
         assert_eq!(Pattern::CompleteBipartite(2, 3).name(), "K2,3");
         assert_eq!(Pattern::Star(3).name(), "K1,3");
-        assert!(Pattern::Custom(generators::path(3)).name().starts_with("H("));
+        assert!(Pattern::Custom(generators::path(3))
+            .name()
+            .starts_with("H("));
     }
 
     #[test]

@@ -51,4 +51,6 @@ pub mod demand;
 pub mod router;
 
 pub use demand::{Packet, RoutingDemand};
-pub use router::{direct_round_bound, BalancedRouter, Delivered, DirectRouter, Router, ValiantRouter};
+pub use router::{
+    direct_round_bound, BalancedRouter, Delivered, DirectRouter, Router, ValiantRouter,
+};

@@ -81,7 +81,11 @@ impl PacketCodec {
     }
 
     /// Reads back one `[node, len, payload]` record.
-    fn decode(&self, reader: &mut BitReader<'_>, with_node: bool) -> Option<(Option<NodeId>, BitString)> {
+    fn decode(
+        &self,
+        reader: &mut BitReader<'_>,
+        with_node: bool,
+    ) -> Option<(Option<NodeId>, BitString)> {
         let node = if with_node {
             Some(NodeId::new(reader.read_bits(self.node_bits)? as usize))
         } else {
@@ -308,7 +312,11 @@ mod tests {
         for s in 0..n {
             for t in 0..n {
                 if s != t {
-                    d.send(s, t, payload((s * n + t) as u64 % (1 << bits.min(16)), bits));
+                    d.send(
+                        s,
+                        t,
+                        payload((s * n + t) as u64 % (1 << bits.min(16)), bits),
+                    );
                 }
             }
         }
@@ -416,8 +424,17 @@ mod tests {
         let mut valiant = ValiantRouter::new(ChaCha8Rng::seed_from_u64(9));
         let rounds = run_router(&mut valiant, &demand, b);
         // With n packets spread over n random intermediaries the max link
-        // load is O(log n / log log n) packets w.h.p.; allow a generous cap.
-        assert!(rounds <= 16, "valiant took {rounds} rounds");
+        // load is O(log n / log log n) packets w.h.p. For n = 32 the load of
+        // the fullest bin exceeds 8 with probability < 10⁻³, and each packet
+        // costs at most two rounds per phase with framing, so 32 rounds is a
+        // safe cap — while still far below the ≥ 2·n rounds direct delivery
+        // pays on this demand.
+        assert!(rounds <= 32, "valiant took {rounds} rounds");
+        let direct_rounds = run_router(&mut DirectRouter, &demand, b);
+        assert!(
+            rounds < direct_rounds,
+            "valiant ({rounds}) should beat direct ({direct_rounds})"
+        );
     }
 
     #[test]

@@ -380,7 +380,10 @@ mod tests {
         let b = BitString::from_bools(&[true, true, false]);
         let c = a.concat(&b);
         assert_eq!(c.len(), 5);
-        assert_eq!(c.iter().collect::<Vec<_>>(), vec![true, false, true, true, false]);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![true, false, true, true, false]
+        );
         let mut d = a.clone();
         d.extend_from(&b);
         assert_eq!(c, d);

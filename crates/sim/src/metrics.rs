@@ -100,7 +100,11 @@ impl fmt::Display for RunReport {
             f,
             "{} ({})",
             self.metrics,
-            if self.completed { "completed" } else { "cut off" }
+            if self.completed {
+                "completed"
+            } else {
+                "cut off"
+            }
         )
     }
 }

@@ -67,9 +67,7 @@ impl PhaseInbox {
 
     /// The broadcast written by `sender` during the phase, if any.
     pub fn broadcast_from(&self, sender: NodeId) -> Option<&BitString> {
-        self.broadcasts
-            .get(sender.index())
-            .and_then(|m| m.as_ref())
+        self.broadcasts.get(sender.index()).and_then(|m| m.as_ref())
     }
 
     /// The (concatenated) unicast payload received from `sender`, if any.
@@ -377,7 +375,12 @@ mod tests {
         out0.send(NodeId::new(1), BitString::from_bits(0b11, 2));
         out0.send(NodeId::new(1), BitString::from_bits(0b01, 2));
         out0.send(NodeId::new(2), BitString::from_bits(0b1, 1));
-        let outs = vec![out0, PhaseOutbox::new(), PhaseOutbox::new(), PhaseOutbox::new()];
+        let outs = vec![
+            out0,
+            PhaseOutbox::new(),
+            PhaseOutbox::new(),
+            PhaseOutbox::new(),
+        ];
         let inboxes = engine.exchange("route", outs).unwrap();
         // Link 0->1 carries 4 bits, bandwidth 2 => 2 rounds.
         assert_eq!(engine.rounds(), 2);

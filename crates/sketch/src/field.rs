@@ -21,7 +21,10 @@ impl PrimeField {
     ///
     /// Panics if `p` is not a prime below `2³¹`.
     pub fn new(p: u64) -> Self {
-        assert!(p >= 2 && p < (1 << 31), "modulus {p} out of supported range");
+        assert!(
+            (2..(1 << 31)).contains(&p),
+            "modulus {p} out of supported range"
+        );
         assert!(is_prime_u64(p), "modulus {p} is not prime");
         Self { p }
     }
@@ -88,7 +91,10 @@ impl PrimeField {
     ///
     /// Panics if `a ≡ 0 (mod p)`.
     pub fn inv(&self, a: u64) -> u64 {
-        assert!(a % self.p != 0, "zero has no multiplicative inverse");
+        assert!(
+            !a.is_multiple_of(self.p),
+            "zero has no multiplicative inverse"
+        );
         self.pow(a, self.p - 2)
     }
 
@@ -119,13 +125,13 @@ pub fn is_prime_u64(n: u64) -> bool {
         return false;
     }
     for small in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
-        if n % small == 0 {
+        if n.is_multiple_of(small) {
             return n == small;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -165,7 +171,7 @@ pub fn next_prime(mut x: u64) -> u64 {
     if x <= 2 {
         return 2;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         x += 1;
     }
     while !is_prime_u64(x) {

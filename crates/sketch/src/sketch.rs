@@ -109,7 +109,11 @@ impl PowerSumSketch {
     }
 
     fn update(&mut self, x: u64, insert: bool) {
-        assert!(x < self.universe, "element {x} outside universe {}", self.universe);
+        assert!(
+            x < self.universe,
+            "element {x} outside universe {}",
+            self.universe
+        );
         let shifted = self.field.reduce(x + 1);
         let mut power = 1u64;
         for sum in &mut self.sums {
@@ -169,7 +173,11 @@ impl PowerSumSketch {
         }
         let d = self.count as usize;
         if d == 0 {
-            return if self.is_zero() { Some(Vec::new()) } else { None };
+            return if self.is_zero() {
+                Some(Vec::new())
+            } else {
+                None
+            };
         }
         let f = self.field;
 
@@ -334,12 +342,8 @@ mod tests {
         for x in [7u64, 77] {
             sketch.add(x);
         }
-        let rebuilt = PowerSumSketch::from_parts(
-            100,
-            4,
-            sketch.count(),
-            sketch.power_sums().to_vec(),
-        );
+        let rebuilt =
+            PowerSumSketch::from_parts(100, 4, sketch.count(), sketch.power_sums().to_vec());
         assert_eq!(rebuilt.decode(), Some(vec![7, 77]));
     }
 

@@ -55,9 +55,7 @@ fn main() -> Result<(), SimError> {
         );
     }
     println!();
-    println!(
-        "Theorem 2: the rounds column grows with the depth column, not with the wire count;"
-    );
+    println!("Theorem 2: the rounds column grows with the depth column, not with the wire count;");
     println!("lower bounds for such protocols would therefore imply new circuit lower bounds.");
     Ok(())
 }

@@ -7,8 +7,8 @@
 //! ```
 
 use congested_clique::graphs::{generators, iso};
-use congested_clique::triangle::{detect_triangle_dlp, detect_triangle_trivial};
 use congested_clique::sim::SimError;
+use congested_clique::triangle::{detect_triangle_dlp, detect_triangle_trivial};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

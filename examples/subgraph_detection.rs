@@ -40,7 +40,10 @@ fn main() -> Result<(), SimError> {
     );
     println!();
 
-    for (name, graph) in [("C4-free polarity graph", &c4_free), ("planted C4", &planted)] {
+    for (name, graph) in [
+        ("C4-free polarity graph", &c4_free),
+        ("planted C4", &planted),
+    ] {
         println!("== {name} ({} edges) ==", graph.edge_count());
         let trivial = detect_by_full_broadcast(graph, &pattern, bandwidth)?;
         println!(

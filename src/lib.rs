@@ -5,7 +5,7 @@
 //! crates, so that the examples and integration tests in this repository —
 //! and downstream users — only need a single dependency.
 //!
-//! See the [README](https://example.org/congested-clique) for an overview,
+//! See `README.md` at the repository root for an overview,
 //! `DESIGN.md` for the system inventory and the per-experiment index, and
 //! `EXPERIMENTS.md` for the measured results of every experiment.
 //!

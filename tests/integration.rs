@@ -120,10 +120,11 @@ fn circuit_simulation_matches_direct_evaluation_across_gate_families() {
         builders::inner_product_mod2(m / 2),
     ];
     for circuit in circuits {
-        let input: Vec<bool> = (0..circuit.inputs().len()).map(|_| r.gen_bool(0.5)).collect();
+        let input: Vec<bool> = (0..circuit.inputs().len())
+            .map(|_| r.gen_bool(0.5))
+            .collect();
         let bandwidth = circuit.wire_density(n) + circuit.max_separability_bits() + 4;
-        let sim =
-            simulate_circuit(&circuit, &input, n, bandwidth, InputPartition::Blocks).unwrap();
+        let sim = simulate_circuit(&circuit, &input, n, bandwidth, InputPartition::Blocks).unwrap();
         assert_eq!(sim.outputs, circuit.evaluate(&input));
         assert!(sim.rounds <= 6 * (sim.depth as u64 + 2));
     }
@@ -136,10 +137,21 @@ fn matmul_circuits_compose_with_the_simulation() {
     let mut r = rng(4);
     let dim = 8usize;
     let mm = matmul::matmul_f2_strassen(dim);
-    let a: Vec<Vec<bool>> = (0..dim).map(|_| (0..dim).map(|_| r.gen_bool(0.5)).collect()).collect();
-    let b: Vec<Vec<bool>> = (0..dim).map(|_| (0..dim).map(|_| r.gen_bool(0.5)).collect()).collect();
+    let a: Vec<Vec<bool>> = (0..dim)
+        .map(|_| (0..dim).map(|_| r.gen_bool(0.5)).collect())
+        .collect();
+    let b: Vec<Vec<bool>> = (0..dim)
+        .map(|_| (0..dim).map(|_| r.gen_bool(0.5)).collect())
+        .collect();
     let assignment = mm.assignment(&a, &b);
-    let sim = simulate_circuit(&mm.circuit, &assignment, dim, 32, InputPartition::RoundRobin).unwrap();
+    let sim = simulate_circuit(
+        &mm.circuit,
+        &assignment,
+        dim,
+        32,
+        InputPartition::RoundRobin,
+    )
+    .unwrap();
     let reference = matmul::matmul_f2_reference(&a, &b);
     let flat: Vec<bool> = reference.into_iter().flatten().collect();
     assert_eq!(sim.outputs, flat);
@@ -151,7 +163,10 @@ fn lower_bound_reductions_are_sound_against_upper_bound_protocols() {
     // Theorem 15 gadget against both detectors.
     for kind in [DetectorKind::TrivialBroadcast, DetectorKind::TuranSketch] {
         let (_, report) = clique_detection_lower_bound(4, 36, 4, kind, 4, &mut r).unwrap();
-        assert!(report.all_correct(), "{kind:?} answered a reduction instance wrongly");
+        assert!(
+            report.all_correct(),
+            "{kind:?} answered a reduction instance wrongly"
+        );
         assert!(report.implied_round_lower_bound <= report.max_rounds as f64 + 1.0);
     }
     // Theorem 19 gadget.
@@ -172,11 +187,11 @@ fn claim6_holds_for_every_pattern_free_instance_we_generate() {
     let cases = vec![
         (Pattern::Cycle(4), extremal::dense_c4_free(n)),
         (Pattern::Clique(4), generators::turan_graph(n, 3)),
-        (Pattern::Clique(3), generators::complete_bipartite(n / 2, n / 2)),
         (
-            Pattern::Cycle(6),
-            extremal::dense_cycle_free(n, 6, &mut r),
+            Pattern::Clique(3),
+            generators::complete_bipartite(n / 2, n / 2),
         ),
+        (Pattern::Cycle(6), extremal::dense_cycle_free(n, 6, &mut r)),
     ];
     for (pattern, graph) in cases {
         assert!(!iso::contains_subgraph(&graph, &pattern.graph()));

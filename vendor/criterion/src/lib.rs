@@ -1,0 +1,215 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored so the workspace builds without network access.
+//!
+//! It supports the subset this workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], and the
+//! [`BenchmarkGroup`] knobs `sample_size` / `warm_up_time` /
+//! `measurement_time` / `bench_function` — and reports mean / min / max
+//! wall-clock time per iteration on stdout. It performs no statistical
+//! analysis, produces no HTML reports, and keeps no baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configures this harness from command-line arguments (accepted and
+    /// ignored; the stub has no CLI options).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        let (sample_size, warm_up, measurement) = (
+            self.default_sample_size,
+            self.default_warm_up,
+            self.default_measurement,
+        );
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size,
+            warm_up,
+            measurement,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("run", f);
+        group.finish();
+        self
+    }
+
+    /// Criterion's post-run hook; a no-op in the stub.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to run the routine untimed before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target total duration of the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("  {}/{id}: no samples recorded", self.name);
+            return self;
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "  {}/{id}: mean {mean:.2?}  min {min:.2?}  max {max:.2?}  ({} samples)",
+            self.name,
+            samples.len()
+        );
+        self
+    }
+
+    /// Finishes the group (a no-op in the stub; reports print eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure to time the routine under test.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples after a warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Sampling: one routine call per sample, stopping early if the
+        // measurement budget is exhausted.
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() > self.measurement {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags such as
+            // `--bench`; the stub accepts and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+}

@@ -1,0 +1,322 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate, vendored so the
+//! workspace builds without network access.
+//!
+//! The [`proptest!`] macro runs each property against
+//! [`ProptestConfig::cases`] pseudo-random inputs drawn from a fixed-seed
+//! ChaCha8 stream, so failures are reproducible across runs. Unlike real
+//! proptest there is **no shrinking**: a failing case reports the assertion
+//! panic directly (the deterministic seed makes it replayable).
+
+#![forbid(unsafe_code)]
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns a configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Strategies: composable descriptions of how to generate random values.
+pub mod strategy {
+    use rand_chacha::ChaCha8Rng;
+    use std::ops::Range;
+
+    /// The RNG handed to strategies (re-exported for the macro expansion).
+    pub type TestRng = ChaCha8Rng;
+
+    /// A generator of random values of type [`Strategy::Value`].
+    ///
+    /// Real proptest strategies produce shrinkable value *trees*; this stub
+    /// only samples plain values.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            use rand::Rng;
+            let unit: f64 = rng.gen();
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0);
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+    /// Strategy for `any::<T>()`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            use rand::Rng;
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            use rand::Rng;
+            rng.gen()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T` (`proptest::arbitrary::any`).
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// The `prop::` namespace used inside [`proptest!`] bodies.
+pub mod prop {
+    /// Collection strategies (`prop::collection`).
+    pub mod collection {
+        use crate::strategy::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A length specification: a fixed size or a range of sizes.
+        pub trait SizeRange {
+            /// Samples a concrete length.
+            fn sample_len(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn sample_len(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for Range<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                use rand::Rng;
+                rng.gen_range(self.start..self.end)
+            }
+        }
+
+        /// Strategy producing `Vec`s of values from an element strategy.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.sample_len(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Returns a strategy for `Vec`s with lengths drawn from `len`.
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub use rand as _rand;
+
+/// Common re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property (plain `assert!` in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` in the stub).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` in the stub).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Expands to `continue` targeting the case loop generated by [`proptest!`],
+/// so it may only appear at the top level of a property body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item becomes a
+/// regular `#[test]` that samples the strategies [`ProptestConfig::cases`]
+/// times from a deterministic ChaCha8 stream and runs the body on each case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @cfg ($config:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Fixed seed: failures replay identically across runs.
+                let mut proptest_rng =
+                    <$crate::strategy::TestRng as $crate::_rand::SeedableRng>::seed_from_u64(
+                        0xC11_90E_5EED,
+                    );
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strategy),
+                            &mut proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($config) $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            v in prop::collection::vec(any::<bool>(), 2..5),
+            w in prop::collection::vec(0u64..10, 7),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert_eq!(w.len(), 7);
+            prop_assert!(w.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(pair in (0u64..5, 1usize..4)) {
+            prop_assert!(pair.0 < 5 && (1..4).contains(&pair.1));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline, API-compatible subset of the
+//! [`rand_chacha`](https://crates.io/crates/rand_chacha) crate, vendored so
+//! the workspace builds without network access.
+//!
+//! [`ChaCha8Rng`], [`ChaCha12Rng`] and [`ChaCha20Rng`] are genuine ChaCha
+//! keystream generators (D. J. Bernstein's block function at 8/12/20
+//! rounds). Seeding via [`rand::SeedableRng::seed_from_u64`] expands the
+//! 64-bit seed into a 256-bit key with SplitMix64; the resulting streams are
+//! deterministic and of cryptographic quality, but are not guaranteed to be
+//! byte-identical to upstream `rand_chacha` for the same seed.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha quarter-round.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha keystream generator with a configurable round count.
+#[derive(Clone, Debug)]
+struct ChaChaCore {
+    /// Initial state: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means "exhausted".
+    index: usize,
+    /// Number of rounds (8, 12 or 20).
+    rounds: usize,
+}
+
+impl ChaChaCore {
+    fn from_seed_u64(seed: u64, rounds: usize) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64, as
+        // rand_core's default `seed_from_u64` does.
+        let mut s = seed;
+        let mut sm = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for i in 0..4 {
+            let w = sm();
+            state[4 + 2 * i] = w as u32;
+            state[5 + 2 * i] = (w >> 32) as u32;
+        }
+        // Counter (words 12–13) and nonce (words 14–15) start at zero.
+        Self {
+            state,
+            block: [0; 16],
+            index: 16,
+            rounds,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..self.rounds / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12–13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            core: ChaChaCore,
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> Self {
+                Self {
+                    core: ChaChaCore::from_seed_u64(state, $rounds),
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_u32()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_u32() as u64;
+                let hi = self.core.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "A ChaCha generator with 8 rounds.");
+chacha_rng!(ChaCha12Rng, 12, "A ChaCha generator with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "A ChaCha generator with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha20_keystream_matches_rfc_7539_structure() {
+        // With an all-zero key expansion we cannot cross-check RFC vectors
+        // (seeding goes through SplitMix64), but the generator must at least
+        // produce well-distributed output: check a crude bit balance.
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        let total = 1024 * 64;
+        assert!((total * 45 / 100..total * 55 / 100).contains(&ones));
+    }
+
+    #[test]
+    fn works_with_rand_traits() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v: usize = rng.gen_range(10..20);
+        assert!((10..20).contains(&v));
+        let _ = rng.gen_bool(0.5);
+    }
+}
