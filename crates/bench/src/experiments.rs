@@ -14,10 +14,12 @@ use clique_core::lower_bounds::{
     bipartite_detection_lower_bound, clique_detection_lower_bound, cycle_detection_lower_bound,
     triangle_nof_lower_bound, DetectorKind,
 };
-use clique_core::routing::{BalancedRouter, DirectRouter, Router, RoutingDemand, ValiantRouter};
+use clique_core::routing::{
+    BalancedRouter, DirectRouter, RouteProtocol, Router, RoutingDemand, ValiantRouter,
+};
 use clique_core::sim::prelude::*;
 use clique_core::sketch::reconstruct::message_bits;
-use clique_core::subgraph::{detect_subgraph_turan, run_reconstruction_protocol};
+use clique_core::subgraph::{detect_subgraph_turan, SketchReconstruction};
 use clique_core::triangle::{
     detect_triangle_dlp, detect_triangle_trivial, detect_triangle_via_matmul, MatMulStrategy,
 };
@@ -27,9 +29,6 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::table::{fmt_f64, ExperimentTable};
-
-/// A boxed router invocation measured by experiment E2.
-type RouterFn = Box<dyn FnMut(&RoutingDemand, &mut PhaseEngine) -> u64>;
 
 /// How large a parameter sweep to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,9 +104,9 @@ pub fn e1_circuit_simulation(scale: Scale) -> ExperimentTable {
                 circuit.wire_count().to_string(),
                 s.to_string(),
                 bandwidth.to_string(),
-                sim.rounds.to_string(),
-                fmt_f64(sim.rounds as f64 / (depth as f64 + 2.0)),
-                sim.max_phase_rounds.to_string(),
+                sim.rounds().to_string(),
+                fmt_f64(sim.rounds() as f64 / (depth as f64 + 2.0)),
+                sim.max_phase_rounds().to_string(),
                 (sim.outputs == expected).to_string(),
             ]);
         }
@@ -146,38 +145,28 @@ pub fn e2_routing(scale: Scale) -> ExperimentTable {
             }
         }
         demands.push(("all-to-all", all_to_all));
+        let runner = Runner::new(
+            CliqueConfig::builder()
+                .nodes(n)
+                .bandwidth(b)
+                .unicast()
+                .build(),
+        );
         for (name, demand) in demands {
-            let routers: Vec<(&str, RouterFn)> = vec![
-                (
-                    "direct",
-                    Box::new(|d: &RoutingDemand, e: &mut PhaseEngine| {
-                        DirectRouter.route(d, e).unwrap();
-                        e.rounds()
-                    }),
-                ),
-                (
-                    "valiant",
-                    Box::new(|d: &RoutingDemand, e: &mut PhaseEngine| {
-                        ValiantRouter::new(rng(7)).route(d, e).unwrap();
-                        e.rounds()
-                    }),
-                ),
-                (
-                    "balanced (Lenzen stand-in)",
-                    Box::new(|d: &RoutingDemand, e: &mut PhaseEngine| {
-                        BalancedRouter.route(d, e).unwrap();
-                        e.rounds()
-                    }),
-                ),
+            let routers: Vec<(&str, Box<dyn Router>)> = vec![
+                ("direct", Box::new(DirectRouter)),
+                ("valiant", Box::new(ValiantRouter::new(rng(7)))),
+                ("balanced (Lenzen stand-in)", Box::new(BalancedRouter)),
             ];
-            for (router_name, mut run) in routers {
-                let mut engine = PhaseEngine::new(CliqueConfig::unicast(n, b));
-                let rounds = run(&demand, &mut engine);
+            for (router_name, router) in routers {
+                let outcome = runner
+                    .execute(&mut RouteProtocol::new(router, &demand))
+                    .expect("routing failed");
                 table.push_row(vec![
                     n.to_string(),
                     name.to_owned(),
                     router_name.to_owned(),
-                    rounds.to_string(),
+                    outcome.rounds().to_string(),
                 ]);
             }
         }
@@ -230,8 +219,8 @@ pub fn e3_triangle_matmul(scale: Scale) -> ExperimentTable {
                     n.to_string(),
                     gname.to_owned(),
                     alg.to_owned(),
-                    outcome.rounds.to_string(),
-                    outcome.total_bits.to_string(),
+                    outcome.rounds().to_string(),
+                    outcome.total_bits().to_string(),
                     outcome.contains.to_string(),
                     truth.to_string(),
                 ]);
@@ -295,7 +284,7 @@ pub fn e4_subgraph_turan(scale: Scale) -> ExperimentTable {
                     pattern.name(),
                     n.to_string(),
                     iname.to_owned(),
-                    outcome.rounds.to_string(),
+                    outcome.rounds().to_string(),
                     (n as u64).div_ceil(b as u64).to_string(),
                     fmt_f64(predicted),
                     outcome.contains.to_string(),
@@ -356,8 +345,8 @@ pub fn e5_adaptive(scale: Scale) -> ExperimentTable {
                 n.to_string(),
                 pattern.name(),
                 iname.to_owned(),
-                adaptive.outcome.rounds.to_string(),
-                format!("Theorem 7 (known ex): {}", turan.rounds),
+                adaptive.rounds().to_string(),
+                format!("Theorem 7 (known ex): {}", turan.rounds()),
             ]);
         }
     }
@@ -628,28 +617,45 @@ pub fn e12_sketch_reconstruction(scale: Scale) -> ExperimentTable {
         Scale::Quick => &[64],
         Scale::Full => &[64, 128, 256],
     };
-    for &n in sizes {
-        let b = log2_bandwidth(n);
+    // One sweep point per n at b = ceil(log2 n); each point runs every
+    // (instance, capacity) pair as a nested reconstruction on its session.
+    let grid = CliqueConfig::builder().broadcast().grid(sizes, &[]);
+    let points = Runner::sweep(grid, |config| {
+        let n = config.n;
         let mut r = rng(1200 + n as u64);
-        for target_degeneracy in [2usize, 4, 8] {
-            let g = generators::random_bounded_degeneracy(n, target_degeneracy, &mut r);
-            let true_d = degeneracy(&g);
-            for capacity in [true_d.max(1), (true_d / 2).max(1)] {
-                let run = run_reconstruction_protocol(&g, capacity, b).unwrap();
-                let outcome = match &run.result {
-                    Ok(decoded) if *decoded == g => "exact reconstruction",
-                    Ok(_) => "WRONG reconstruction",
-                    Err(_) => "failure reported",
-                };
-                table.push_row(vec![
-                    n.to_string(),
-                    true_d.to_string(),
-                    capacity.to_string(),
-                    message_bits(n, capacity).to_string(),
-                    run.rounds.to_string(),
-                    outcome.to_owned(),
-                ]);
+        let instances: Vec<Graph> = [2usize, 4, 8]
+            .iter()
+            .map(|&d| generators::random_bounded_degeneracy(n, d, &mut r))
+            .collect();
+        move |session: &mut Session| {
+            let mut rows = Vec::new();
+            for g in &instances {
+                let true_d = degeneracy(g);
+                for capacity in [true_d.max(1), (true_d / 2).max(1)] {
+                    let run = session.run_nested(&mut SketchReconstruction::new(g, capacity))?;
+                    let rounds = run.rounds();
+                    let outcome = match &run.result {
+                        Ok(decoded) if decoded == g => "exact reconstruction",
+                        Ok(_) => "WRONG reconstruction",
+                        Err(_) => "failure reported",
+                    };
+                    rows.push(vec![
+                        n.to_string(),
+                        true_d.to_string(),
+                        capacity.to_string(),
+                        message_bits(n, capacity).to_string(),
+                        rounds.to_string(),
+                        outcome.to_owned(),
+                    ]);
+                }
             }
+            Ok(rows)
+        }
+    })
+    .expect("reconstruction sweep failed");
+    for point in points {
+        for row in point.outcome.into_output() {
+            table.push_row(row);
         }
     }
     table

@@ -3,11 +3,11 @@
 //!
 //! For most bipartite patterns `H` even the asymptotics of `ex(n, H)` are
 //! unknown, so the sketch capacity of Theorem 7 cannot be computed. The
-//! adaptive algorithm instead samples nested subgraphs `G_0 ⊇ G_1 ⊇ …` using
-//! one random `O(log n)`-bit value per node (Lemma 8 guarantees the
-//! degeneracy of `G_j` is concentrated around `2^{-j}` times that of `G`),
-//! and combines exponentially increasing guesses for the reconstruction
-//! budget with the sampled levels:
+//! adaptive algorithm ([`AdaptiveDetection`]) instead samples nested
+//! subgraphs `G_0 ⊇ G_1 ⊇ …` using one random `O(log n)`-bit value per node
+//! (Lemma 8 guarantees the degeneracy of `G_j` is concentrated around
+//! `2^{-j}` times that of `G`), and combines exponentially increasing
+//! guesses for the reconstruction budget with the sampled levels:
 //!
 //! * for each budget `k = 2, 4, 8, …` the algorithm reconstructs the
 //!   *densest not-yet-decoded* levels that fit the budget, working from
@@ -39,8 +39,8 @@ use clique_sim::bits::bits_for_universe;
 use clique_sim::prelude::*;
 use rand::Rng;
 
-use crate::outcome::DetectionOutcome;
-use crate::subgraph::run_reconstruction_protocol;
+use crate::outcome::Detection;
+use crate::subgraph::SketchReconstruction;
 
 /// A per-attempt record of the adaptive algorithm, for experiment reporting.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,16 +55,123 @@ pub struct AdaptiveAttempt {
     pub rounds: u64,
 }
 
-/// The full trace of an adaptive detection run.
+/// The output of an adaptive detection run: the decision plus the full
+/// trace of reconstruction attempts.
 #[derive(Clone, Debug)]
-pub struct AdaptiveRun {
+pub struct AdaptiveOutput {
     /// The final answer.
-    pub outcome: DetectionOutcome,
+    pub outcome: Detection,
     /// Every reconstruction attempt made, in order.
     pub attempts: Vec<AdaptiveAttempt>,
 }
 
-/// Runs the adaptive detection algorithm of Theorem 9.
+/// The full result of an adaptive detection run.
+pub type AdaptiveRun = RunOutcome<AdaptiveOutput>;
+
+/// Theorem 9 as a [`Protocol`]: adaptive `H`-subgraph detection through
+/// degeneracy sampling and doubling reconstruction budgets.
+#[derive(Debug)]
+pub struct AdaptiveDetection<'a, R: Rng + ?Sized> {
+    graph: &'a Graph,
+    pattern: &'a Pattern,
+    rng: &'a mut R,
+}
+
+impl<'a, R: Rng + ?Sized> AdaptiveDetection<'a, R> {
+    /// Prepares the protocol; `rng` drives the per-node sampling values.
+    pub fn new(graph: &'a Graph, pattern: &'a Pattern, rng: &'a mut R) -> Self {
+        Self {
+            graph,
+            pattern,
+            rng,
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Protocol for AdaptiveDetection<'_, R> {
+    type Output = AdaptiveOutput;
+
+    fn run(&mut self, session: &mut Session) -> Result<AdaptiveOutput, SimError> {
+        let n = self.graph.vertex_count();
+        session.require_clique_of(n);
+        let h = self.pattern.graph();
+        let mut attempts = Vec::new();
+
+        // Phase 0: every node broadcasts its random value X_v (O(log n)
+        // bits), after which each node knows which of its edges survive to
+        // each level.
+        let samples = SampledSubgraphs::sample(self.graph, self.rng);
+        {
+            let value_bits = bits_for_universe(1u64 << samples.levels).max(1);
+            let messages: Vec<BitString> = samples
+                .values
+                .iter()
+                .map(|&x| BitString::from_bits(x, value_bits))
+                .collect();
+            session.broadcast_all("broadcast sampling values", &messages)?;
+        }
+        let levels = samples.all_levels();
+
+        // Main loop: doubling budgets; for each budget, decode ever denser
+        // levels until one fails. Each attempt runs nested so its own
+        // round count can be reported, while its metrics land in this
+        // session.
+        let mut densest_decoded = levels.len(); // index of the densest decoded level, +1
+        let mut budget = 2usize;
+        loop {
+            while densest_decoded > 0 {
+                let j = densest_decoded - 1;
+                let run = session.run_nested(&mut SketchReconstruction::new(&levels[j], budget))?;
+                attempts.push(AdaptiveAttempt {
+                    budget,
+                    level: j,
+                    success: run.success(),
+                    rounds: run.rounds(),
+                });
+                match run.into_output().result {
+                    Ok(decoded) => {
+                        if let Some(witness) = find_subgraph(&decoded, &h) {
+                            return Ok(AdaptiveOutput {
+                                outcome: Detection {
+                                    contains: true,
+                                    witness: Some(witness),
+                                },
+                                attempts,
+                            });
+                        }
+                        densest_decoded = j;
+                    }
+                    Err(_) => break,
+                }
+            }
+            if densest_decoded == 0 {
+                // The input graph itself was reconstructed and contains no
+                // copy.
+                return Ok(AdaptiveOutput {
+                    outcome: Detection {
+                        contains: false,
+                        witness: None,
+                    },
+                    attempts,
+                });
+            }
+            if budget >= 2 * n {
+                // Safety net: with budget ≥ n every level decodes, so this
+                // is unreachable for well-formed inputs.
+                return Ok(AdaptiveOutput {
+                    outcome: Detection {
+                        contains: false,
+                        witness: None,
+                    },
+                    attempts,
+                });
+            }
+            budget *= 2;
+        }
+    }
+}
+
+/// Runs [`AdaptiveDetection`] in `CLIQUE-BCAST(n, b)`.
 ///
 /// # Errors
 ///
@@ -81,93 +188,8 @@ pub fn detect_subgraph_adaptive<R: Rng + ?Sized>(
 ) -> Result<AdaptiveRun, SimError> {
     let n = graph.vertex_count();
     assert!(n > 0, "the input graph must have at least one node");
-    let h = pattern.graph();
-    let mut attempts = Vec::new();
-    let mut total_rounds = 0u64;
-    let mut total_bits = 0u64;
-
-    // Phase 0: every node broadcasts its random value X_v (O(log n) bits),
-    // after which each node knows which of its edges survive to each level.
-    let samples = SampledSubgraphs::sample(graph, rng);
-    {
-        let mut engine = PhaseEngine::new(CliqueConfig::broadcast(n, bandwidth));
-        let value_bits = bits_for_universe(1u64 << samples.levels).max(1);
-        let messages: Vec<BitString> = samples
-            .values
-            .iter()
-            .map(|&x| BitString::from_bits(x, value_bits))
-            .collect();
-        engine.broadcast_all("broadcast sampling values", &messages)?;
-        total_rounds += engine.rounds();
-        total_bits += engine.total_bits();
-    }
-    let levels = samples.all_levels();
-
-    // Main loop: doubling budgets; for each budget, decode ever denser
-    // levels until one fails.
-    let mut densest_decoded = levels.len(); // index of the densest decoded level, +1
-    let mut budget = 2usize;
-    loop {
-        let mut progressed = false;
-        while densest_decoded > 0 {
-            let j = densest_decoded - 1;
-            let run = run_reconstruction_protocol(&levels[j], budget, bandwidth)?;
-            total_rounds += run.rounds;
-            total_bits += run.total_bits;
-            let success = run.success();
-            attempts.push(AdaptiveAttempt {
-                budget,
-                level: j,
-                success,
-                rounds: run.rounds,
-            });
-            match run.result {
-                Ok(decoded) => {
-                    progressed = true;
-                    if let Some(witness) = find_subgraph(&decoded, &h) {
-                        return Ok(AdaptiveRun {
-                            outcome: DetectionOutcome {
-                                contains: true,
-                                witness: Some(witness),
-                                rounds: total_rounds,
-                                total_bits,
-                            },
-                            attempts,
-                        });
-                    }
-                    densest_decoded = j;
-                }
-                Err(_) => break,
-            }
-        }
-        if densest_decoded == 0 {
-            // The input graph itself was reconstructed and contains no copy.
-            return Ok(AdaptiveRun {
-                outcome: DetectionOutcome {
-                    contains: false,
-                    witness: None,
-                    rounds: total_rounds,
-                    total_bits,
-                },
-                attempts,
-            });
-        }
-        let _ = progressed;
-        if budget >= 2 * n {
-            // Safety net: with budget ≥ n every level decodes, so this is
-            // unreachable for well-formed inputs.
-            return Ok(AdaptiveRun {
-                outcome: DetectionOutcome {
-                    contains: false,
-                    witness: None,
-                    rounds: total_rounds,
-                    total_bits,
-                },
-                attempts,
-            });
-        }
-        budget *= 2;
-    }
+    Runner::new(CliqueConfig::broadcast(n, bandwidth))
+        .execute(&mut AdaptiveDetection::new(graph, pattern, rng))
 }
 
 #[cfg(test)]
@@ -186,7 +208,12 @@ mod tests {
         let (with_copy, _) = generators::plant_copy(&host, &pattern.graph(), &mut rng);
         let run = detect_subgraph_adaptive(&with_copy, &pattern, 8, &mut rng).unwrap();
         assert!(run.outcome.contains);
-        let witness = run.outcome.witness.expect("a witness copy is returned");
+        let witness = run
+            .output
+            .outcome
+            .witness
+            .clone()
+            .expect("a witness copy is returned");
         for (u, v) in pattern.graph().edges() {
             assert!(with_copy.has_edge(witness[u], witness[v]));
         }
@@ -207,6 +234,9 @@ mod tests {
             .find(|a| a.success)
             .expect("level 0 must eventually decode");
         assert_eq!(last_success.level, 0);
+        // The attempts' rounds (plus the sampling phase) sum to the total.
+        let attempt_rounds: u64 = run.attempts.iter().map(|a| a.rounds).sum();
+        assert!(run.rounds() >= attempt_rounds);
     }
 
     #[test]
@@ -251,9 +281,9 @@ mod tests {
         assert!(run.outcome.contains);
         let trivial_rounds = (40u64).div_ceil(4);
         assert!(
-            run.outcome.rounds <= 6 * trivial_rounds,
+            run.rounds() <= 6 * trivial_rounds,
             "adaptive rounds {} unexpectedly large",
-            run.outcome.rounds
+            run.rounds()
         );
     }
 

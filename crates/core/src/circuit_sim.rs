@@ -20,18 +20,18 @@
 //!      Lenzen's routing algorithm — see DESIGN.md);
 //! 4. the owners of the output gates finally ship the outputs to player 0.
 //!
-//! Round and bit accounting is exact and charged to a
-//! [`PhaseEngine`](clique_sim::PhaseEngine); because the gate assignment and
-//! the routing schedule are deterministic functions of the (publicly known)
-//! circuit, no message needs headers and the per-link load per layer is
-//! `O(b_sep + s)` bits, matching the theorem.
+//! Round and bit accounting is exact and charged to the protocol's
+//! [`Session`]; because the gate assignment and the routing schedule are
+//! deterministic functions of the (publicly known) circuit, no message
+//! needs headers and the per-link load per layer is `O(b_sep + s)` bits,
+//! matching the theorem.
 
 use std::collections::HashMap;
 
 use clique_circuits::{Circuit, GateId, GateKind};
 use clique_sim::prelude::*;
 
-use crate::outcome::CircuitSimOutcome;
+use crate::outcome::{CircuitOutput, CircuitSimOutcome};
 
 /// How the `n²`-bit circuit input is initially split among the players.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,8 +109,50 @@ pub fn plan_simulation(circuit: &Circuit, n_players: usize) -> SimulationPlan {
     }
 }
 
+/// Theorem 2 as a [`Protocol`]: simulates a layered circuit of separable
+/// gates on the session's (unicast) model, returning the outputs and their
+/// owners. Round and bit accounting lands on the session.
+#[derive(Clone, Debug)]
+pub struct CircuitSimulation<'a> {
+    circuit: &'a Circuit,
+    input: &'a [bool],
+    partition: InputPartition,
+}
+
+impl<'a> CircuitSimulation<'a> {
+    /// Prepares the simulation of `circuit` on `input` under the given
+    /// initial input partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length does not match the circuit.
+    pub fn new(circuit: &'a Circuit, input: &'a [bool], partition: InputPartition) -> Self {
+        assert_eq!(
+            input.len(),
+            circuit.inputs().len(),
+            "expected {} input bits, got {}",
+            circuit.inputs().len(),
+            input.len()
+        );
+        Self {
+            circuit,
+            input,
+            partition,
+        }
+    }
+}
+
+impl Protocol for CircuitSimulation<'_> {
+    type Output = CircuitOutput;
+
+    fn run(&mut self, session: &mut Session) -> Result<CircuitOutput, SimError> {
+        run_circuit_simulation(self.circuit, self.input, self.partition, session)
+    }
+}
+
 /// Simulates `circuit` on `input` with `n_players` players and the given
-/// link bandwidth, returning the outputs and the exact round/bit accounting.
+/// link bandwidth in `CLIQUE-UCAST(n, b)`, returning the outputs and the
+/// exact round/bit accounting.
 ///
 /// # Errors
 ///
@@ -126,16 +168,20 @@ pub fn simulate_circuit(
     bandwidth: usize,
     partition: InputPartition,
 ) -> Result<CircuitSimOutcome, SimError> {
-    assert_eq!(
-        input.len(),
-        circuit.inputs().len(),
-        "expected {} input bits, got {}",
-        circuit.inputs().len(),
-        input.len()
-    );
-    let n = n_players;
+    Runner::new(CliqueConfig::unicast(n_players, bandwidth))
+        .execute(&mut CircuitSimulation::new(circuit, input, partition))
+}
+
+/// The protocol body: evaluates the circuit on the session's model.
+fn run_circuit_simulation(
+    circuit: &Circuit,
+    input: &[bool],
+    partition: InputPartition,
+    session: &mut Session,
+) -> Result<CircuitOutput, SimError> {
+    session.require_clique();
+    let n = session.n();
     let plan = plan_simulation(circuit, n);
-    let mut engine = PhaseEngine::new(CliqueConfig::unicast(n, bandwidth));
 
     // Per-player knowledge of gate values; only ever updated from local
     // evaluation or received messages.
@@ -165,7 +211,7 @@ pub fn simulate_circuit(
         for (&(src, dst), bits) in &per_pair {
             outs[src].send(NodeId::new(dst), bits.clone());
         }
-        let inboxes = engine.exchange("distribute inputs", outs)?;
+        let inboxes = session.exchange("distribute inputs", outs)?;
         // Receivers re-derive which input gates the received bits refer to.
         for (dst, inbox) in inboxes.iter().enumerate() {
             let mut cursors: HashMap<usize, BitReader<'_>> = inbox
@@ -235,7 +281,7 @@ pub fn simulate_circuit(
                     );
                 }
             }
-            let inboxes = engine.exchange(&format!("layer {layer_idx}: heavy summaries"), outs)?;
+            let inboxes = session.exchange(&format!("layer {layer_idx}: heavy summaries"), outs)?;
             // Combine at the owners.
             for &gid in &heavy_in_layer {
                 let gate = circuit.gate(gid);
@@ -312,7 +358,8 @@ pub fn simulate_circuit(
                 outs[src].send(NodeId::new(dst), BitString::from_bits(u64::from(value), 1));
             }
             if !pending.is_empty() {
-                let inboxes = engine.exchange(&format!("layer {layer_idx}: heavy values"), outs)?;
+                let inboxes =
+                    session.exchange(&format!("layer {layer_idx}: heavy values"), outs)?;
                 for &(gate, src, dst) in &pending {
                     let payload = inboxes[dst]
                         .unicast_from(NodeId::new(src))
@@ -345,7 +392,7 @@ pub fn simulate_circuit(
                 .filter(|&(gate, dst)| !known[dst].contains_key(&gate))
                 .collect();
             route_bits_two_phase(
-                &mut engine,
+                session,
                 n,
                 &format!("layer {layer_idx}: light wires"),
                 &wires,
@@ -390,7 +437,7 @@ pub fn simulate_circuit(
         for (&p, bits) in &per_sender {
             outs[p].send(NodeId::new(0), bits.clone());
         }
-        let inboxes = engine.exchange("collect outputs", outs)?;
+        let inboxes = session.exchange("collect outputs", outs)?;
         let mut cursors: HashMap<usize, BitReader<'_>> = inboxes[0]
             .unicasts()
             .map(|(src, payload)| (src.index(), payload.reader()))
@@ -412,20 +459,15 @@ pub fn simulate_circuit(
             .collect::<Vec<bool>>()
     };
 
-    let metrics = engine.metrics();
-    let max_phase_rounds = metrics.phases.iter().map(|p| p.rounds).max().unwrap_or(0);
     let output_owners = circuit
         .outputs()
         .iter()
         .map(|gid| plan.owner[gid.index()])
         .collect();
-    Ok(CircuitSimOutcome {
+    Ok(CircuitOutput {
         outputs,
         output_owners,
-        rounds: metrics.rounds,
-        total_bits: metrics.total_bits,
         depth: circuit.depth(),
-        max_phase_rounds,
     })
 }
 
@@ -434,7 +476,7 @@ pub fn simulate_circuit(
 /// intermediaries) recompute the schedule from the public wire list, so the
 /// payloads carry no headers.
 fn route_bits_two_phase(
-    engine: &mut PhaseEngine,
+    session: &mut Session,
     n: usize,
     label: &str,
     wires: &[(usize, usize)],
@@ -481,7 +523,7 @@ fn route_bits_two_phase(
     for (&(src, w), bits) in &phase1 {
         outs[src].send(NodeId::new(w), bits.clone());
     }
-    let inboxes = engine.exchange(&format!("{label} (phase 1)"), outs)?;
+    let inboxes = session.exchange(&format!("{label} (phase 1)"), outs)?;
     // Intermediaries reconstruct the values they must forward.
     let mut relay_value: HashMap<(usize, usize, usize), bool> = HashMap::new(); // (w, gate, dst)
     {
@@ -522,7 +564,7 @@ fn route_bits_two_phase(
     for (&(w, dst), bits) in &phase2 {
         outs[w].send(NodeId::new(dst), bits.clone());
     }
-    let inboxes = engine.exchange(&format!("{label} (phase 2)"), outs)?;
+    let inboxes = session.exchange(&format!("{label} (phase 2)"), outs)?;
     let mut cursors: Vec<HashMap<usize, BitReader<'_>>> = inboxes
         .iter()
         .map(|inbox| {
@@ -609,14 +651,14 @@ mod tests {
             simulate_circuit(&deep, &input, n, bandwidth, InputPartition::RoundRobin).unwrap();
         let shallow_out =
             simulate_circuit(&shallow, &input, n, bandwidth, InputPartition::RoundRobin).unwrap();
-        assert!(deep_out.rounds > shallow_out.rounds);
+        assert!(deep_out.rounds() > shallow_out.rounds());
         assert!(
-            deep_out.max_phase_rounds <= 2,
+            deep_out.max_phase_rounds() <= 2,
             "phases should be O(1) rounds"
         );
-        assert!(shallow_out.max_phase_rounds <= 2);
+        assert!(shallow_out.max_phase_rounds() <= 2);
         // O(D) with a small constant: at most ~5 phases per layer.
-        assert!(deep_out.rounds <= 5 * (deep_out.depth as u64 + 1) + 2);
+        assert!(deep_out.rounds() <= 5 * (deep_out.depth as u64 + 1) + 2);
     }
 
     #[test]

@@ -3,17 +3,27 @@
 //! This crate implements, on top of a bit-exact simulator, every protocol and
 //! reduction of Drucker, Kuhn & Oshman (PODC 2014):
 //!
-//! * [`circuit_sim`] — the circuit-to-clique simulation of Theorem 2 (heavy/
-//!   light gate assignment, separable summaries, balanced routing of light
-//!   wires);
+//! Every algorithm is a [`sim::Protocol`]: the protocol type carries the
+//! input, [`sim::Runner::execute`] runs it on any
+//! [`sim::CliqueConfig`], and the per-algorithm free functions
+//! (`detect_*`, `simulate_circuit`, …) are thin wrappers that pick the
+//! model the paper states the bound for.
+//!
+//! * [`circuit_sim`] — the circuit-to-clique simulation of Theorem 2
+//!   ([`circuit_sim::CircuitSimulation`]: heavy/light gate assignment,
+//!   separable summaries, balanced routing of light wires);
 //! * [`triangle`] — triangle detection in `CLIQUE-UCAST` through `F₂` matrix
-//!   multiplication circuits (Section 2.1), plus the trivial and
-//!   Dolev–Lenzen–Peled baselines;
-//! * [`subgraph`] — the Becker et al. reconstruction protocol `A(G, k)` and
-//!   the Theorem 7 subgraph-detection upper bound driven by Turán numbers;
+//!   multiplication circuits (Section 2.1,
+//!   [`triangle::MatMulTriangleDetection`]), plus the trivial and
+//!   Dolev–Lenzen–Peled ([`triangle::DlpTriangleDetection`]) baselines;
+//! * [`subgraph`] — the Becker et al. reconstruction protocol `A(G, k)`
+//!   ([`subgraph::SketchReconstruction`]) and the Theorem 7 upper bound
+//!   driven by Turán numbers ([`subgraph::TuranSketchDetection`]);
 //! * [`adaptive`] — the Theorem 9 adaptive detection algorithm that does not
-//!   need to know `ex(n, H)` (degeneracy sampling, Lemma 8);
-//! * [`trivial`] — the broadcast-everything and gather-at-a-leader baselines;
+//!   need to know `ex(n, H)` ([`adaptive::AdaptiveDetection`]; degeneracy
+//!   sampling, Lemma 8);
+//! * [`trivial`] — the broadcast-everything ([`trivial::FullBroadcastDetection`])
+//!   and gather-at-a-leader ([`trivial::GatherToLeaderDetection`]) baselines;
 //! * [`lower_bounds`] — executable versions of the Section 3.2–3.6 lower
 //!   bound reductions, run against the upper-bound protocols.
 //!
@@ -37,8 +47,8 @@
 //! let smart = detect_subgraph_turan(&g, &Pattern::Cycle(4), 1)?;
 //! let trivial = detect_by_full_broadcast(&g, &Pattern::Cycle(4), 1)?;
 //! assert!(!smart.contains && !trivial.contains);
-//! assert!(smart.rounds > 0);
-//! assert!(trivial.rounds == 31);
+//! assert!(smart.rounds() > 0);
+//! assert!(trivial.rounds() == 31);
 //! # Ok(())
 //! # }
 //! ```
@@ -72,11 +82,20 @@ pub use clique_routing as routing;
 /// Re-export of the communication-complexity substrate (`clique-comm`).
 pub use clique_comm as comm;
 
-pub use adaptive::{detect_subgraph_adaptive, AdaptiveRun};
-pub use circuit_sim::{plan_simulation, simulate_circuit, InputPartition, SimulationPlan};
-pub use outcome::{CircuitSimOutcome, DetectionOutcome};
-pub use subgraph::{detect_subgraph_turan, run_reconstruction_protocol, ReconstructionRun};
-pub use triangle::{
-    detect_triangle_dlp, detect_triangle_trivial, detect_triangle_via_matmul, MatMulStrategy,
+pub use adaptive::{detect_subgraph_adaptive, AdaptiveDetection, AdaptiveOutput, AdaptiveRun};
+pub use circuit_sim::{
+    plan_simulation, simulate_circuit, CircuitSimulation, InputPartition, SimulationPlan,
 };
-pub use trivial::{detect_by_full_broadcast, detect_by_gather_to_leader};
+pub use outcome::{CircuitOutput, CircuitSimOutcome, Detection, DetectionOutcome};
+pub use subgraph::{
+    detect_subgraph_turan, run_reconstruction_protocol, Reconstruction, ReconstructionRun,
+    SketchReconstruction, TuranSketchDetection,
+};
+pub use triangle::{
+    detect_triangle_dlp, detect_triangle_trivial, detect_triangle_via_matmul, DlpTriangleDetection,
+    MatMulStrategy, MatMulTriangleDetection,
+};
+pub use trivial::{
+    detect_by_full_broadcast, detect_by_gather_to_leader, FullBroadcastDetection,
+    GatherToLeaderDetection,
+};

@@ -43,7 +43,7 @@ fn detector(
         .expect("detection protocol failed on a well-formed input");
         DetectionRun {
             contains: outcome.contains,
-            rounds: outcome.rounds,
+            rounds: outcome.rounds(),
         }
     }
 }
@@ -149,7 +149,7 @@ pub fn triangle_nof_lower_bound<R: Rng + ?Sized>(
             .expect("triangle detection failed on a well-formed input");
         DetectionRun {
             contains: outcome.contains,
-            rounds: outcome.rounds,
+            rounds: outcome.rounds(),
         }
     });
     (reduction, report)

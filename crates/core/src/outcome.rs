@@ -1,63 +1,54 @@
 //! Common result types for the detection protocols.
+//!
+//! Every protocol's result is a [`RunOutcome`] pairing a protocol-specific
+//! output with the communication [`Metrics`](clique_sim::Metrics) of the
+//! run; the aliases here fix the output type per protocol family.
+//! `RunOutcome` dereferences to its output, so `outcome.contains` and
+//! `outcome.rounds()` both read naturally.
 
-use clique_sim::Metrics;
+use clique_sim::outcome::RunOutcome;
 
-/// The result of running a subgraph- or triangle-detection protocol on the
-/// simulator.
+/// The decision (and witness) produced by a subgraph- or triangle-detection
+/// protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct DetectionOutcome {
+pub struct Detection {
     /// Whether the protocol declared that the input contains the pattern.
     pub contains: bool,
     /// A witness copy (pattern vertex → input vertex), when the protocol
     /// produced one.
     pub witness: Option<Vec<usize>>,
-    /// Rounds used.
-    pub rounds: u64,
-    /// Total bits placed on the network / blackboard.
-    pub total_bits: u64,
 }
 
-impl DetectionOutcome {
-    /// Builds an outcome from a decision and the engine metrics.
-    pub fn from_metrics(contains: bool, witness: Option<Vec<usize>>, metrics: &Metrics) -> Self {
-        Self {
-            contains,
-            witness,
-            rounds: metrics.rounds,
-            total_bits: metrics.total_bits,
-        }
-    }
-}
+/// The result of running a detection protocol on the simulator.
+pub type DetectionOutcome = RunOutcome<Detection>;
 
-/// The result of simulating a circuit on the unicast clique (Theorem 2).
+/// The output of simulating a circuit on the unicast clique (Theorem 2).
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CircuitSimOutcome {
+pub struct CircuitOutput {
     /// Output values of the circuit, in output order.
     pub outputs: Vec<bool>,
     /// The player owning (and therefore knowing) each output, in output
     /// order — useful for protocols that post-process the outputs (e.g. the
     /// triangle-detection route of Section 2.1).
     pub output_owners: Vec<usize>,
-    /// Rounds used by the simulation.
-    pub rounds: u64,
-    /// Total bits placed on the network.
-    pub total_bits: u64,
     /// Number of layers of the circuit (its depth).
     pub depth: usize,
-    /// The maximum number of rounds charged to any single communication
-    /// phase; Theorem 2 predicts `O(1)` once the bandwidth reaches
-    /// `Θ(b_sep + s)` (up to the header overhead discussed in
-    /// [`crate::circuit_sim`]).
-    pub max_phase_rounds: u64,
 }
+
+/// The result of the Theorem 2 circuit simulation. Theorem 2 predicts
+/// [`RunOutcome::max_phase_rounds`] is `O(1)` once the bandwidth reaches
+/// `Θ(b_sep + s)` (up to the header overhead discussed in
+/// [`crate::circuit_sim`]).
+pub type CircuitSimOutcome = RunOutcome<CircuitOutput>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use clique_sim::metrics::PhaseRecord;
+    use clique_sim::Metrics;
 
     #[test]
-    fn outcome_from_metrics_copies_counters() {
+    fn outcome_wraps_decision_and_metrics() {
         let mut metrics = Metrics::new();
         metrics.record_phase(PhaseRecord {
             label: "x".into(),
@@ -65,11 +56,18 @@ mod tests {
             bits: 17,
             messages: 2,
             max_link_bits_per_round: 4,
+            strict_rounds: false,
         });
-        let outcome = DetectionOutcome::from_metrics(true, Some(vec![1, 2, 3]), &metrics);
+        let outcome = RunOutcome::new(
+            Detection {
+                contains: true,
+                witness: Some(vec![1, 2, 3]),
+            },
+            metrics,
+        );
         assert!(outcome.contains);
-        assert_eq!(outcome.rounds, 3);
-        assert_eq!(outcome.total_bits, 17);
+        assert_eq!(outcome.rounds(), 3);
+        assert_eq!(outcome.total_bits(), 17);
         assert_eq!(outcome.witness.as_deref(), Some(&[1, 2, 3][..]));
     }
 }

@@ -2,13 +2,14 @@
 //! (Section 3.1, Theorem 7) and the underlying distributed reconstruction
 //! protocol of Becker et al. \[2\].
 //!
-//! The protocol `A(G, k)`: every node broadcasts an `O(k log n)`-bit sketch
-//! of its neighbourhood (degree plus `k` power sums over a prime field). If
-//! the degeneracy of `G` is at most `k`, all nodes can reconstruct `G`
-//! entirely from the blackboard; otherwise they detect the failure. With
-//! `k = 4·ex(n, H)/n` (Claim 6) this yields Theorem 7: `H`-subgraph
-//! detection in `O(ex(n, H)·log n/(n·b))` rounds — and a failed
-//! reconstruction already certifies that `G` is not `H`-free.
+//! The protocol `A(G, k)` ([`SketchReconstruction`]): every node broadcasts
+//! an `O(k log n)`-bit sketch of its neighbourhood (degree plus `k` power
+//! sums over a prime field). If the degeneracy of `G` is at most `k`, all
+//! nodes can reconstruct `G` entirely from the blackboard; otherwise they
+//! detect the failure. With `k = 4·ex(n, H)/n` (Claim 6) this yields
+//! Theorem 7 ([`TuranSketchDetection`]): `H`-subgraph detection in
+//! `O(ex(n, H)·log n/(n·b))` rounds — and a failed reconstruction already
+//! certifies that `G` is not `H`-free.
 
 use clique_graphs::iso::find_subgraph;
 use clique_graphs::{Graph, Pattern};
@@ -17,31 +18,79 @@ use clique_sim::prelude::*;
 use clique_sketch::reconstruct::{decode_graph, encode_graph, DecodeError, NodeSketch};
 use clique_sketch::PowerSumSketch;
 
-use crate::outcome::DetectionOutcome;
+use crate::outcome::{Detection, DetectionOutcome};
 
-/// The result of running the reconstruction protocol `A(G, k)`.
+/// The output of the reconstruction protocol `A(G, k)`.
 #[derive(Clone, Debug)]
-pub struct ReconstructionRun {
+pub struct Reconstruction {
     /// The reconstructed graph, or the failure reason (degeneracy exceeded
     /// the sketch capacity).
     pub result: Result<Graph, DecodeError>,
-    /// Rounds used by the broadcast of the sketches.
-    pub rounds: u64,
-    /// Blackboard bits written.
-    pub total_bits: u64,
     /// The sketch capacity `k` used.
     pub capacity: usize,
 }
 
-impl ReconstructionRun {
+impl Reconstruction {
     /// Returns `true` if the reconstruction succeeded.
     pub fn success(&self) -> bool {
         self.result.is_ok()
     }
 }
 
-/// Runs the one-round (here: `⌈O(k log n)/b⌉`-round) reconstruction protocol
-/// `A(G, k)` on the blackboard and decodes the result.
+/// The result of running the reconstruction protocol `A(G, k)`.
+pub type ReconstructionRun = RunOutcome<Reconstruction>;
+
+/// The Becker et al. \[2\] reconstruction protocol `A(G, k)` as a
+/// [`Protocol`]: one `O(k log n)`-bit broadcast per node, then a local
+/// peel-decode of the blackboard.
+#[derive(Clone, Debug)]
+pub struct SketchReconstruction<'a> {
+    graph: &'a Graph,
+    capacity: usize,
+}
+
+impl<'a> SketchReconstruction<'a> {
+    /// Prepares the protocol with sketch capacity `capacity`.
+    pub fn new(graph: &'a Graph, capacity: usize) -> Self {
+        Self { graph, capacity }
+    }
+}
+
+impl Protocol for SketchReconstruction<'_> {
+    type Output = Reconstruction;
+
+    fn run(&mut self, session: &mut Session) -> Result<Reconstruction, SimError> {
+        let n = self.graph.vertex_count();
+        session.require_clique_of(n);
+        assert!(self.capacity > 0, "sketch capacity must be positive");
+
+        // Each node publishes its sketch.
+        let sketches = encode_graph(self.graph, self.capacity);
+        let messages: Vec<BitString> = sketches.iter().map(|s| encode_sketch(s, n)).collect();
+        let inboxes = session.broadcast_all("broadcast neighbourhood sketches", &messages)?;
+
+        // Node 0 (like every node) decodes the blackboard. It combines the
+        // received sketches with its own.
+        let mut received: Vec<NodeSketch> = Vec::with_capacity(n);
+        for v in 0..n {
+            if v == 0 {
+                received.push(sketches[0].clone());
+            } else {
+                let payload = inboxes[0]
+                    .broadcast_from(NodeId::new(v))
+                    .expect("every node broadcasts a sketch");
+                received.push(decode_sketch(payload, n, self.capacity));
+            }
+        }
+        Ok(Reconstruction {
+            result: decode_graph(&received),
+            capacity: self.capacity,
+        })
+    }
+}
+
+/// Runs the `⌈O(k log n)/b⌉`-round reconstruction protocol `A(G, k)` in
+/// `CLIQUE-BCAST(n, b)` and decodes the result.
 ///
 /// # Errors
 ///
@@ -57,36 +106,8 @@ pub fn run_reconstruction_protocol(
 ) -> Result<ReconstructionRun, SimError> {
     let n = graph.vertex_count();
     assert!(n > 0, "the input graph must have at least one node");
-    assert!(capacity > 0, "sketch capacity must be positive");
-    let mut engine = PhaseEngine::new(CliqueConfig::broadcast(n, bandwidth));
-
-    // Each node publishes its sketch.
-    let sketches = encode_graph(graph, capacity);
-    let messages: Vec<BitString> = sketches.iter().map(|s| encode_sketch(s, n)).collect();
-    let inboxes = engine.broadcast_all("broadcast neighbourhood sketches", &messages)?;
-
-    // Node 0 (like every node) decodes the blackboard. It combines the
-    // received sketches with its own.
-    let mut received: Vec<NodeSketch> = Vec::with_capacity(n);
-    for v in 0..n {
-        if v == 0 {
-            received.push(sketches[0].clone());
-        } else {
-            let payload = inboxes[0]
-                .broadcast_from(NodeId::new(v))
-                .expect("every node broadcasts a sketch");
-            received.push(decode_sketch(payload, n, capacity));
-        }
-    }
-    let result = decode_graph(&received);
-
-    let metrics = engine.metrics();
-    Ok(ReconstructionRun {
-        result,
-        rounds: metrics.rounds,
-        total_bits: metrics.total_bits,
-        capacity,
-    })
+    Runner::new(CliqueConfig::broadcast(n, bandwidth))
+        .execute(&mut SketchReconstruction::new(graph, capacity))
 }
 
 /// Serialises a [`NodeSketch`] for the blackboard: the degree followed by
@@ -122,40 +143,68 @@ fn decode_sketch(payload: &BitString, n: usize, capacity: usize) -> NodeSketch {
     }
 }
 
-/// Theorem 7: `H`-subgraph detection with the Turán-number-derived sketch
-/// capacity `k = ⌈4·ex(n, H)/n⌉`.
+/// Theorem 7 as a [`Protocol`]: `H`-subgraph detection with the
+/// Turán-number-derived sketch capacity `k = ⌈4·ex(n, H)/n⌉`.
 ///
-/// If the reconstruction succeeds the answer is exact (a witness is returned
-/// when a copy exists); if it fails, Claim 6 already implies that `G` is not
-/// `H`-free, so the protocol answers "contains" without a witness.
+/// If the reconstruction succeeds the answer is exact (a witness is
+/// returned when a copy exists); if it fails, Claim 6 already implies that
+/// `G` is not `H`-free, so the protocol answers "contains" without a
+/// witness.
+#[derive(Clone, Debug)]
+pub struct TuranSketchDetection<'a> {
+    graph: &'a Graph,
+    pattern: &'a Pattern,
+}
+
+impl<'a> TuranSketchDetection<'a> {
+    /// Prepares the protocol for the given input graph and pattern.
+    pub fn new(graph: &'a Graph, pattern: &'a Pattern) -> Self {
+        Self { graph, pattern }
+    }
+}
+
+impl Protocol for TuranSketchDetection<'_> {
+    type Output = Detection;
+
+    fn run(&mut self, session: &mut Session) -> Result<Detection, SimError> {
+        let n = self.graph.vertex_count();
+        let capacity = self
+            .pattern
+            .degeneracy_threshold(n)
+            .min(n.saturating_sub(1))
+            .max(1);
+        // The reconstruction is the only communication; run it on this
+        // session's ledger.
+        let run = session.run_protocol(&mut SketchReconstruction::new(self.graph, capacity))?;
+        let (contains, witness) = match &run.result {
+            Ok(reconstructed) => {
+                let witness = find_subgraph(reconstructed, &self.pattern.graph());
+                (witness.is_some(), witness)
+            }
+            Err(_) => (true, None),
+        };
+        Ok(Detection { contains, witness })
+    }
+}
+
+/// Runs [`TuranSketchDetection`] in `CLIQUE-BCAST(n, b)`.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors (which cannot occur for well-formed inputs).
+///
+/// # Panics
+///
+/// Panics if the graph is empty.
 pub fn detect_subgraph_turan(
     graph: &Graph,
     pattern: &Pattern,
     bandwidth: usize,
 ) -> Result<DetectionOutcome, SimError> {
     let n = graph.vertex_count();
-    let capacity = pattern
-        .degeneracy_threshold(n)
-        .min(n.saturating_sub(1))
-        .max(1);
-    let run = run_reconstruction_protocol(graph, capacity, bandwidth)?;
-    let (contains, witness) = match &run.result {
-        Ok(reconstructed) => {
-            let witness = find_subgraph(reconstructed, &pattern.graph());
-            (witness.is_some(), witness)
-        }
-        Err(_) => (true, None),
-    };
-    Ok(DetectionOutcome {
-        contains,
-        witness,
-        rounds: run.rounds,
-        total_bits: run.total_bits,
-    })
+    assert!(n > 0, "the input graph must have at least one node");
+    Runner::new(CliqueConfig::broadcast(n, bandwidth))
+        .execute(&mut TuranSketchDetection::new(graph, pattern))
 }
 
 #[cfg(test)]
@@ -171,13 +220,13 @@ mod tests {
         let g = generators::cycle(40);
         let run = run_reconstruction_protocol(&g, 2, 4).unwrap();
         assert!(run.success());
-        assert_eq!(run.result.unwrap(), g);
         // Message size is O(k log n) bits, so rounds = ceil(that / b).
         assert!(
-            run.rounds >= 3 && run.rounds <= 8,
+            run.rounds() >= 3 && run.rounds() <= 8,
             "rounds = {}",
-            run.rounds
+            run.rounds()
         );
+        assert_eq!(run.into_output().result.unwrap(), g);
     }
 
     #[test]
@@ -216,7 +265,7 @@ mod tests {
         // Tree patterns have ex(n, H) = O(n), so the sketch capacity is O(1)
         // and the protocol runs in O(log n / b) rounds — far less than the
         // trivial n/b = 16.
-        assert!(outcome.rounds <= 12, "rounds = {}", outcome.rounds);
+        assert!(outcome.rounds() <= 12, "rounds = {}", outcome.rounds());
     }
 
     #[test]

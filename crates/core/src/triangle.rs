@@ -7,14 +7,15 @@
 //! semiring, which Shamir's randomized reduction turns into a small number of
 //! `F₂` matrix products, which the Theorem 2 simulation evaluates in
 //! `O(depth)` rounds with bandwidth proportional to the circuit's wire
-//! density. We implement exactly that pipeline with the two explicit circuit
-//! families available (naive cubic and Strassen), plus two baselines:
+//! density. [`MatMulTriangleDetection`] implements exactly that pipeline
+//! with the two explicit circuit families available (naive cubic and
+//! Strassen), plus two baselines:
 //!
 //! * the trivial protocol (everyone broadcasts its row; `⌈n/b⌉` rounds), and
-//! * a deterministic Dolev–Lenzen–Peled-style protocol \[8\]: vertices are
-//!   split into `n^{1/3}` groups, each player checks one group triple, and a
-//!   balanced routing phase ships every relevant edge to its checkers in
-//!   `Õ(n^{1/3}/b)` rounds.
+//! * a deterministic Dolev–Lenzen–Peled-style protocol \[8\]
+//!   ([`DlpTriangleDetection`]): vertices are split into `n^{1/3}` groups,
+//!   each player checks one group triple, and a balanced routing phase ships
+//!   every relevant edge to its checkers in `Õ(n^{1/3}/b)` rounds.
 
 use clique_circuits::matmul::{matmul_f2_naive, matmul_f2_strassen, MatMulCircuit};
 use clique_graphs::{Graph, Pattern};
@@ -22,8 +23,8 @@ use clique_routing::{BalancedRouter, Router, RoutingDemand};
 use clique_sim::prelude::*;
 use rand::Rng;
 
-use crate::circuit_sim::{simulate_circuit, InputPartition};
-use crate::outcome::DetectionOutcome;
+use crate::circuit_sim::{CircuitSimulation, InputPartition};
+use crate::outcome::{Detection, DetectionOutcome};
 use crate::trivial::detect_by_full_broadcast;
 
 /// Which matrix-multiplication circuit powers the Section 2.1 protocol.
@@ -66,14 +67,161 @@ pub fn detect_triangle_trivial(
     detect_by_full_broadcast(graph, &Pattern::Clique(3), bandwidth)
 }
 
-/// Triangle detection through `F₂` matrix multiplication and the circuit
-/// simulation of Theorem 2 (Section 2.1).
+/// Section 2.1 as a [`Protocol`]: triangle detection through `F₂` matrix
+/// multiplication and the circuit simulation of Theorem 2, run as a nested
+/// sub-protocol on the same session.
 ///
 /// Each of the `trials` rounds of Shamir's reduction picks a random diagonal
 /// mask `D` and evaluates `M = (A·D)·A` over `F₂` with the chosen circuit;
 /// an edge `(i, j)` with `M[i][j] = 1` certifies a triangle. The protocol
 /// has no false positives and misses an existing triangle with probability
 /// at most `2^{-trials}`.
+#[derive(Debug)]
+pub struct MatMulTriangleDetection<'a, R: Rng + ?Sized> {
+    graph: &'a Graph,
+    strategy: MatMulStrategy,
+    trials: usize,
+    rng: &'a mut R,
+}
+
+impl<'a, R: Rng + ?Sized> MatMulTriangleDetection<'a, R> {
+    /// Prepares the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn new(graph: &'a Graph, strategy: MatMulStrategy, trials: usize, rng: &'a mut R) -> Self {
+        assert!(trials > 0, "at least one trial is required");
+        Self {
+            graph,
+            strategy,
+            trials,
+            rng,
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Protocol for MatMulTriangleDetection<'_, R> {
+    type Output = Detection;
+
+    fn run(&mut self, session: &mut Session) -> Result<Detection, SimError> {
+        let n = self.graph.vertex_count();
+        session.require_clique_of(n);
+
+        let dim = match self.strategy {
+            MatMulStrategy::Naive => n,
+            MatMulStrategy::Strassen => n.next_power_of_two(),
+        };
+        let mm = self.strategy.circuit(dim);
+        let adjacency = padded_adjacency(self.graph, dim);
+
+        let mut found_edge: Option<(usize, usize)> = None;
+
+        for _ in 0..self.trials {
+            // Random diagonal mask D; B1 = A·D masks the columns of A.
+            let mask: Vec<bool> = (0..dim).map(|_| self.rng.gen_bool(0.5)).collect();
+            let masked: Vec<Vec<bool>> = adjacency
+                .iter()
+                .map(|row| row.iter().zip(&mask).map(|(&a, &d)| a && d).collect())
+                .collect();
+
+            // Evaluate M = (A·D)·A with the Theorem 2 simulation, nested on
+            // this session.
+            let assignment = mm.assignment(&masked, &adjacency);
+            let sim = session.run_protocol(&mut CircuitSimulation::new(
+                &mm.circuit,
+                &assignment,
+                InputPartition::RoundRobin,
+            ))?;
+
+            // Follow-up phase: the owner of output entry (i, j) sends the bit
+            // to player i (who knows row i of A), and every player then
+            // broadcasts a one-bit flag.
+            let mut outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
+            // Canonical order: outputs are row-major, so both sides can parse
+            // positionally.
+            for (idx, (&value, &owner)) in sim.outputs.iter().zip(&sim.output_owners).enumerate() {
+                let row = idx / dim;
+                if row >= n {
+                    continue; // padding rows
+                }
+                if owner == row {
+                    continue;
+                }
+                outs[owner].send(NodeId::new(row), BitString::from_bits(u64::from(value), 1));
+            }
+            let inboxes = session.exchange("deliver product entries to row owners", outs)?;
+            // Row owners recombine their row of M.
+            let mut row_of_m = vec![vec![false; dim]; n];
+            {
+                let mut cursors: Vec<std::collections::HashMap<usize, BitReader<'_>>> = inboxes
+                    .iter()
+                    .map(|inbox| {
+                        inbox
+                            .unicasts()
+                            .map(|(src, payload)| (src.index(), payload.reader()))
+                            .collect()
+                    })
+                    .collect();
+                for (idx, (&value, &owner)) in
+                    sim.outputs.iter().zip(&sim.output_owners).enumerate()
+                {
+                    let row = idx / dim;
+                    let col = idx % dim;
+                    if row >= n {
+                        continue;
+                    }
+                    row_of_m[row][col] = if owner == row {
+                        value
+                    } else {
+                        cursors[row]
+                            .get_mut(&owner)
+                            .and_then(BitReader::read_bit)
+                            .expect("missing product entry")
+                    };
+                }
+            }
+            // Each player checks its own row and broadcasts a one-bit flag.
+            let mut flag_outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
+            let mut local_hit: Vec<Option<(usize, usize)>> = vec![None; n];
+            for i in 0..n {
+                for (j, &hit) in row_of_m[i].iter().enumerate() {
+                    if self.graph.has_edge(i, j) && hit {
+                        local_hit[i] = Some((i, j));
+                        break;
+                    }
+                }
+                flag_outs[i].broadcast(BitString::from_bits(u64::from(local_hit[i].is_some()), 1));
+            }
+            session.exchange("announce detection flags", flag_outs)?;
+
+            if let Some(hit) = local_hit.iter().flatten().next() {
+                found_edge = Some(*hit);
+                break;
+            }
+        }
+
+        // A hit edge (i, j) plus any common neighbour forms a witness
+        // triangle.
+        let witness = found_edge.map(|(i, j)| {
+            let k = self
+                .graph
+                .neighbors(i)
+                .iter()
+                .copied()
+                .find(|&k| self.graph.has_edge(j, k))
+                .expect("a positive F2 product entry implies a common neighbour exists");
+            vec![i, j, k]
+        });
+
+        Ok(Detection {
+            contains: witness.is_some(),
+            witness,
+        })
+    }
+}
+
+/// Runs [`MatMulTriangleDetection`] in `CLIQUE-UCAST(n, b)`.
 ///
 /// # Errors
 ///
@@ -91,130 +239,123 @@ pub fn detect_triangle_via_matmul<R: Rng + ?Sized>(
 ) -> Result<DetectionOutcome, SimError> {
     let n = graph.vertex_count();
     assert!(n > 0, "the input graph must have at least one node");
-    assert!(trials > 0, "at least one trial is required");
-
-    let dim = match strategy {
-        MatMulStrategy::Naive => n,
-        MatMulStrategy::Strassen => n.next_power_of_two(),
-    };
-    let mm = strategy.circuit(dim);
-    let adjacency = padded_adjacency(graph, dim);
-
-    let mut total_rounds = 0u64;
-    let mut total_bits = 0u64;
-    let mut found_edge: Option<(usize, usize)> = None;
-
-    for _ in 0..trials {
-        // Random diagonal mask D; B1 = A·D masks the columns of A.
-        let mask: Vec<bool> = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
-        let masked: Vec<Vec<bool>> = adjacency
-            .iter()
-            .map(|row| row.iter().zip(&mask).map(|(&a, &d)| a && d).collect())
-            .collect();
-
-        // Evaluate M = (A·D)·A with the Theorem 2 simulation on n players.
-        let assignment = mm.assignment(&masked, &adjacency);
-        let sim = simulate_circuit(
-            &mm.circuit,
-            &assignment,
-            n,
-            bandwidth,
-            InputPartition::RoundRobin,
-        )?;
-        total_rounds += sim.rounds;
-        total_bits += sim.total_bits;
-
-        // Follow-up phase: the owner of output entry (i, j) sends the bit to
-        // player i (who knows row i of A), and every player then broadcasts
-        // a one-bit flag.
-        let mut engine = PhaseEngine::new(CliqueConfig::unicast(n, bandwidth));
-        let mut outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
-        // Canonical order: outputs are row-major, so both sides can parse
-        // positionally.
-        for (idx, (&value, &owner)) in sim.outputs.iter().zip(&sim.output_owners).enumerate() {
-            let row = idx / dim;
-            if row >= n {
-                continue; // padding rows
-            }
-            if owner == row {
-                continue;
-            }
-            outs[owner].send(NodeId::new(row), BitString::from_bits(u64::from(value), 1));
-        }
-        let inboxes = engine.exchange("deliver product entries to row owners", outs)?;
-        // Row owners recombine their row of M.
-        let mut row_of_m = vec![vec![false; dim]; n];
-        {
-            let mut cursors: Vec<std::collections::HashMap<usize, BitReader<'_>>> = inboxes
-                .iter()
-                .map(|inbox| {
-                    inbox
-                        .unicasts()
-                        .map(|(src, payload)| (src.index(), payload.reader()))
-                        .collect()
-                })
-                .collect();
-            for (idx, (&value, &owner)) in sim.outputs.iter().zip(&sim.output_owners).enumerate() {
-                let row = idx / dim;
-                let col = idx % dim;
-                if row >= n {
-                    continue;
-                }
-                row_of_m[row][col] = if owner == row {
-                    value
-                } else {
-                    cursors[row]
-                        .get_mut(&owner)
-                        .and_then(BitReader::read_bit)
-                        .expect("missing product entry")
-                };
-            }
-        }
-        // Each player checks its own row and broadcasts a one-bit flag.
-        let mut flag_outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
-        let mut local_hit: Vec<Option<(usize, usize)>> = vec![None; n];
-        for i in 0..n {
-            for (j, &hit) in row_of_m[i].iter().enumerate() {
-                if graph.has_edge(i, j) && hit {
-                    local_hit[i] = Some((i, j));
-                    break;
-                }
-            }
-            flag_outs[i].broadcast(BitString::from_bits(u64::from(local_hit[i].is_some()), 1));
-        }
-        engine.exchange("announce detection flags", flag_outs)?;
-        total_rounds += engine.rounds();
-        total_bits += engine.total_bits();
-
-        if let Some(hit) = local_hit.iter().flatten().next() {
-            found_edge = Some(*hit);
-            break;
-        }
-    }
-
-    // A hit edge (i, j) plus any common neighbour forms a witness triangle.
-    let witness = found_edge.map(|(i, j)| {
-        let k = graph
-            .neighbors(i)
-            .iter()
-            .copied()
-            .find(|&k| graph.has_edge(j, k))
-            .expect("a positive F2 product entry implies a common neighbour exists");
-        vec![i, j, k]
-    });
-
-    Ok(DetectionOutcome {
-        contains: witness.is_some(),
-        witness,
-        rounds: total_rounds,
-        total_bits,
-    })
+    Runner::new(CliqueConfig::unicast(n, bandwidth)).execute(&mut MatMulTriangleDetection::new(
+        graph, strategy, trials, rng,
+    ))
 }
 
-/// A deterministic Dolev–Lenzen–Peled-style triangle detector \[8\]:
-/// vertices are split into `⌈n^{1/3}⌉` groups, player `w` is responsible for
-/// the `w`-th group triple, and every player ships the relevant part of its
-/// adjacency row to the responsible checkers through the balanced router.
+/// The deterministic Dolev–Lenzen–Peled-style triangle detector \[8\] as a
+/// [`Protocol`]: vertices are split into `⌈n^{1/3}⌉` groups, player `w` is
+/// responsible for the `w`-th group triple, and every player ships the
+/// relevant part of its adjacency row to the responsible checkers through
+/// the balanced router.
+#[derive(Clone, Debug)]
+pub struct DlpTriangleDetection<'a> {
+    graph: &'a Graph,
+}
+
+impl<'a> DlpTriangleDetection<'a> {
+    /// Prepares the protocol for the given input graph.
+    pub fn new(graph: &'a Graph) -> Self {
+        Self { graph }
+    }
+}
+
+impl Protocol for DlpTriangleDetection<'_> {
+    type Output = Detection;
+
+    fn run(&mut self, session: &mut Session) -> Result<Detection, SimError> {
+        let graph = self.graph;
+        let n = graph.vertex_count();
+        session.require_clique_of(n);
+        // Largest group count g with C(g+2, 3) ≤ n, so that every group
+        // triple can be assigned to a distinct player; g = Θ(n^{1/3}).
+        let groups = (1..=n)
+            .take_while(|&g| g * (g + 1) * (g + 2) / 6 <= n)
+            .last()
+            .unwrap_or(1);
+        let group_of = |v: usize| v * groups / n.max(1);
+
+        // Enumerate group triples (with repetition) and assign them to
+        // players.
+        let mut triples = Vec::new();
+        for a in 0..groups {
+            for b in a..groups {
+                for c in b..groups {
+                    triples.push((a, b, c));
+                }
+            }
+        }
+        debug_assert!(triples.len() <= n);
+
+        // Each node v in a group of the triple sends its adjacency row
+        // restricted to the triple's groups to the checker.
+        let mut demand = RoutingDemand::new(n);
+        for (checker, &(a, b, c)) in triples.iter().enumerate() {
+            let relevant: Vec<usize> = (0..n)
+                .filter(|&v| [a, b, c].contains(&group_of(v)))
+                .collect();
+            for &v in &relevant {
+                if v == checker {
+                    continue;
+                }
+                let bits: BitString = relevant.iter().map(|&u| graph.has_edge(v, u)).collect();
+                demand.send(v, checker, bits);
+            }
+        }
+        let delivered = BalancedRouter.route(&demand, session)?;
+
+        // Checkers look for a triangle inside their triple.
+        let mut witness: Option<Vec<usize>> = None;
+        for (checker, &(a, b, c)) in triples.iter().enumerate() {
+            let relevant: Vec<usize> = (0..n)
+                .filter(|&v| [a, b, c].contains(&group_of(v)))
+                .collect();
+            // Rebuild the local view from the delivered packets (plus the
+            // checker's own row if it belongs to the triple).
+            let index_of: std::collections::HashMap<usize, usize> =
+                relevant.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            let mut local = Graph::empty(relevant.len());
+            for packet in &delivered[checker] {
+                let Some(&src_idx) = index_of.get(&packet.src.index()) else {
+                    continue;
+                };
+                let mut reader = packet.payload.reader();
+                for (dst_idx, _) in relevant.iter().enumerate() {
+                    if reader.read_bit() == Some(true) {
+                        local.add_edge(src_idx, dst_idx);
+                    }
+                }
+            }
+            if let Some(&own_idx) = index_of.get(&checker) {
+                for (dst_idx, &u) in relevant.iter().enumerate() {
+                    if graph.has_edge(checker, u) {
+                        local.add_edge(own_idx, dst_idx);
+                    }
+                }
+            }
+            if let Some(t) = clique_graphs::iso::triangles(&local).first() {
+                witness = Some(vec![relevant[t.0], relevant[t.1], relevant[t.2]]);
+                break;
+            }
+        }
+
+        // One more round: checkers announce their flags.
+        let mut flag_outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
+        for (i, out) in flag_outs.iter_mut().enumerate() {
+            let hit = witness.is_some() && i == 0;
+            out.broadcast(BitString::from_bits(u64::from(hit), 1));
+        }
+        session.exchange("announce detection flags", flag_outs)?;
+
+        Ok(Detection {
+            contains: witness.is_some(),
+            witness,
+        })
+    }
+}
+
+/// Runs [`DlpTriangleDetection`] in `CLIQUE-UCAST(n, b)`.
 ///
 /// # Errors
 ///
@@ -226,93 +367,7 @@ pub fn detect_triangle_via_matmul<R: Rng + ?Sized>(
 pub fn detect_triangle_dlp(graph: &Graph, bandwidth: usize) -> Result<DetectionOutcome, SimError> {
     let n = graph.vertex_count();
     assert!(n > 0, "the input graph must have at least one node");
-    // Largest group count g with C(g+2, 3) ≤ n, so that every group triple
-    // can be assigned to a distinct player; g = Θ(n^{1/3}).
-    let groups = (1..=n)
-        .take_while(|&g| g * (g + 1) * (g + 2) / 6 <= n)
-        .last()
-        .unwrap_or(1);
-    let group_of = |v: usize| v * groups / n.max(1);
-
-    // Enumerate group triples (with repetition) and assign them to players.
-    let mut triples = Vec::new();
-    for a in 0..groups {
-        for b in a..groups {
-            for c in b..groups {
-                triples.push((a, b, c));
-            }
-        }
-    }
-    debug_assert!(triples.len() <= n);
-
-    // Each node v in a group of the triple sends its adjacency row restricted
-    // to the triple's groups to the checker.
-    let mut engine = PhaseEngine::new(CliqueConfig::unicast(n, bandwidth));
-    let mut demand = RoutingDemand::new(n);
-    for (checker, &(a, b, c)) in triples.iter().enumerate() {
-        let relevant: Vec<usize> = (0..n)
-            .filter(|&v| [a, b, c].contains(&group_of(v)))
-            .collect();
-        for &v in &relevant {
-            if v == checker {
-                continue;
-            }
-            let bits: BitString = relevant.iter().map(|&u| graph.has_edge(v, u)).collect();
-            demand.send(v, checker, bits);
-        }
-    }
-    let delivered = BalancedRouter.route(&demand, &mut engine)?;
-
-    // Checkers look for a triangle inside their triple.
-    let mut witness: Option<Vec<usize>> = None;
-    for (checker, &(a, b, c)) in triples.iter().enumerate() {
-        let relevant: Vec<usize> = (0..n)
-            .filter(|&v| [a, b, c].contains(&group_of(v)))
-            .collect();
-        // Rebuild the local view from the delivered packets (plus the
-        // checker's own row if it belongs to the triple).
-        let index_of: std::collections::HashMap<usize, usize> =
-            relevant.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        let mut local = Graph::empty(relevant.len());
-        for packet in &delivered[checker] {
-            let Some(&src_idx) = index_of.get(&packet.src.index()) else {
-                continue;
-            };
-            let mut reader = packet.payload.reader();
-            for (dst_idx, _) in relevant.iter().enumerate() {
-                if reader.read_bit() == Some(true) {
-                    local.add_edge(src_idx, dst_idx);
-                }
-            }
-        }
-        if let Some(&own_idx) = index_of.get(&checker) {
-            for (dst_idx, &u) in relevant.iter().enumerate() {
-                if graph.has_edge(checker, u) {
-                    local.add_edge(own_idx, dst_idx);
-                }
-            }
-        }
-        if let Some(t) = clique_graphs::iso::triangles(&local).first() {
-            witness = Some(vec![relevant[t.0], relevant[t.1], relevant[t.2]]);
-            break;
-        }
-    }
-
-    // One more round: checkers announce their flags.
-    let mut flag_outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
-    for (i, out) in flag_outs.iter_mut().enumerate() {
-        let hit = witness.is_some() && i == 0;
-        out.broadcast(BitString::from_bits(u64::from(hit), 1));
-    }
-    engine.exchange("announce detection flags", flag_outs)?;
-
-    let metrics = engine.metrics();
-    Ok(DetectionOutcome {
-        contains: witness.is_some(),
-        witness,
-        rounds: metrics.rounds,
-        total_bits: metrics.total_bits,
-    })
+    Runner::new(CliqueConfig::unicast(n, bandwidth)).execute(&mut DlpTriangleDetection::new(graph))
 }
 
 /// The adjacency matrix padded with zero rows/columns to `dim × dim`.
@@ -349,7 +404,7 @@ mod tests {
         let g = generators::complete(10);
         let outcome = detect_triangle_trivial(&g, 2).unwrap();
         assert!(outcome.contains);
-        assert_eq!(outcome.rounds, 5);
+        assert_eq!(outcome.rounds(), 5);
         let bip = generators::complete_bipartite(6, 6);
         assert!(!detect_triangle_trivial(&bip, 2).unwrap().contains);
     }

@@ -2,26 +2,124 @@
 //!
 //! Two protocols that the paper repeatedly uses as yardsticks:
 //!
-//! * **broadcast-your-neighbourhood** (`CLIQUE-BCAST`): every node writes its
-//!   `n`-bit adjacency row on the blackboard; after `⌈n/b⌉` rounds every
-//!   node knows the whole graph and can answer any graph question locally.
-//!   This is the trivial `O(n log n / b)`-round upper bound that Theorem 7
-//!   improves on for bipartite patterns (and that non-bipartite patterns are
-//!   stuck with).
-//! * **ship-everything-to-a-leader** (`CLIQUE-UCAST`): every node sends its
-//!   `n`-bit row to player 0 over its single link to player 0, taking
-//!   `⌈n/b⌉` rounds; this matches the non-explicit counting lower bound up
-//!   to the `O(log n)` slack.
+//! * **broadcast-your-neighbourhood** ([`FullBroadcastDetection`],
+//!   `CLIQUE-BCAST`): every node writes its `n`-bit adjacency row on the
+//!   blackboard; after `⌈n/b⌉` rounds every node knows the whole graph and
+//!   can answer any graph question locally. This is the trivial
+//!   `O(n log n / b)`-round upper bound that Theorem 7 improves on for
+//!   bipartite patterns (and that non-bipartite patterns are stuck with).
+//! * **ship-everything-to-a-leader** ([`GatherToLeaderDetection`],
+//!   `CLIQUE-UCAST`): every node sends its `n`-bit row to player 0 over its
+//!   single link to player 0, taking `⌈n/b⌉` rounds; this matches the
+//!   non-explicit counting lower bound up to the `O(log n)` slack.
+//!
+//! Both are [`Protocol`]s; the `detect_by_*` free functions are thin
+//! [`Runner`] wrappers that pick the canonical model for each.
 
 use clique_graphs::iso::find_subgraph;
 use clique_graphs::{Graph, Pattern};
 use clique_sim::prelude::*;
 
-use crate::outcome::DetectionOutcome;
+use crate::outcome::{Detection, DetectionOutcome};
 
-/// Runs the broadcast-your-neighbourhood protocol in `CLIQUE-BCAST(n, b)`
-/// and answers `H`-subgraph detection by local search on the reconstructed
-/// graph.
+/// The broadcast-your-neighbourhood protocol: runs in any broadcast-capable
+/// model and answers `H`-subgraph detection by local search on the
+/// reconstructed graph.
+#[derive(Clone, Debug)]
+pub struct FullBroadcastDetection<'a> {
+    graph: &'a Graph,
+    pattern: &'a Pattern,
+}
+
+impl<'a> FullBroadcastDetection<'a> {
+    /// Prepares the protocol for the given input graph and pattern.
+    pub fn new(graph: &'a Graph, pattern: &'a Pattern) -> Self {
+        Self { graph, pattern }
+    }
+}
+
+impl Protocol for FullBroadcastDetection<'_> {
+    type Output = Detection;
+
+    fn run(&mut self, session: &mut Session) -> Result<Detection, SimError> {
+        let n = self.graph.vertex_count();
+        session.require_clique_of(n);
+
+        // Every node broadcasts its adjacency row (n bits).
+        let rows: Vec<BitString> = (0..n)
+            .map(|v| BitString::from_bools(&self.graph.adjacency_row(v)))
+            .collect();
+        let inboxes = session.broadcast_all("broadcast adjacency rows", &rows)?;
+
+        // Node 0 reconstructs the graph from what it received (plus its own
+        // row) and searches locally. Every other node could do the same.
+        let mut matrix = vec![vec![false; n]; n];
+        matrix[0] = self.graph.adjacency_row(0);
+        for (sender, payload) in inboxes[0].broadcasts() {
+            let mut reader = payload.reader();
+            let row: Vec<bool> = (0..n).map(|_| reader.read_bit().unwrap_or(false)).collect();
+            matrix[sender.index()] = row;
+        }
+        let reconstructed = Graph::from_adjacency_matrix(&matrix);
+        debug_assert_eq!(&reconstructed, self.graph);
+        let witness = find_subgraph(&reconstructed, &self.pattern.graph());
+
+        Ok(Detection {
+            contains: witness.is_some(),
+            witness,
+        })
+    }
+}
+
+/// The ship-everything-to-a-leader protocol: player 0 gathers all rows over
+/// unicast links and decides alone.
+#[derive(Clone, Debug)]
+pub struct GatherToLeaderDetection<'a> {
+    graph: &'a Graph,
+    pattern: &'a Pattern,
+}
+
+impl<'a> GatherToLeaderDetection<'a> {
+    /// Prepares the protocol for the given input graph and pattern.
+    pub fn new(graph: &'a Graph, pattern: &'a Pattern) -> Self {
+        Self { graph, pattern }
+    }
+}
+
+impl Protocol for GatherToLeaderDetection<'_> {
+    type Output = Detection;
+
+    fn run(&mut self, session: &mut Session) -> Result<Detection, SimError> {
+        let n = self.graph.vertex_count();
+        session.require_clique_of(n);
+
+        let mut outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
+        for (v, out) in outs.iter_mut().enumerate().skip(1) {
+            out.send(
+                NodeId::new(0),
+                BitString::from_bools(&self.graph.adjacency_row(v)),
+            );
+        }
+        let inboxes = session.exchange("gather rows at leader", outs)?;
+
+        let mut matrix = vec![vec![false; n]; n];
+        matrix[0] = self.graph.adjacency_row(0);
+        for (sender, payload) in inboxes[0].unicasts() {
+            let mut reader = payload.reader();
+            matrix[sender.index()] = (0..n).map(|_| reader.read_bit().unwrap_or(false)).collect();
+        }
+        let reconstructed = Graph::from_adjacency_matrix(&matrix);
+        debug_assert_eq!(&reconstructed, self.graph);
+        let witness = find_subgraph(&reconstructed, &self.pattern.graph());
+
+        Ok(Detection {
+            contains: witness.is_some(),
+            witness,
+        })
+    }
+}
+
+/// Runs [`FullBroadcastDetection`] in `CLIQUE-BCAST(n, b)`.
 ///
 /// # Errors
 ///
@@ -37,36 +135,11 @@ pub fn detect_by_full_broadcast(
 ) -> Result<DetectionOutcome, SimError> {
     let n = graph.vertex_count();
     assert!(n > 0, "the input graph must have at least one node");
-    let mut engine = PhaseEngine::new(CliqueConfig::broadcast(n, bandwidth));
-
-    // Every node broadcasts its adjacency row (n bits).
-    let rows: Vec<BitString> = (0..n)
-        .map(|v| BitString::from_bools(&graph.adjacency_row(v)))
-        .collect();
-    let inboxes = engine.broadcast_all("broadcast adjacency rows", &rows)?;
-
-    // Node 0 reconstructs the graph from what it received (plus its own row)
-    // and searches locally. Every other node could do the same.
-    let mut matrix = vec![vec![false; n]; n];
-    matrix[0] = graph.adjacency_row(0);
-    for (sender, payload) in inboxes[0].broadcasts() {
-        let mut reader = payload.reader();
-        let row: Vec<bool> = (0..n).map(|_| reader.read_bit().unwrap_or(false)).collect();
-        matrix[sender.index()] = row;
-    }
-    let reconstructed = Graph::from_adjacency_matrix(&matrix);
-    debug_assert_eq!(&reconstructed, graph);
-    let witness = find_subgraph(&reconstructed, &pattern.graph());
-
-    Ok(DetectionOutcome::from_metrics(
-        witness.is_some(),
-        witness,
-        engine.metrics(),
-    ))
+    Runner::new(CliqueConfig::broadcast(n, bandwidth))
+        .execute(&mut FullBroadcastDetection::new(graph, pattern))
 }
 
-/// Runs the ship-everything-to-a-leader protocol in `CLIQUE-UCAST(n, b)`.
-/// Returns the detection outcome decided by the leader (player 0).
+/// Runs [`GatherToLeaderDetection`] in `CLIQUE-UCAST(n, b)`.
 ///
 /// # Errors
 ///
@@ -82,32 +155,8 @@ pub fn detect_by_gather_to_leader(
 ) -> Result<DetectionOutcome, SimError> {
     let n = graph.vertex_count();
     assert!(n > 0, "the input graph must have at least one node");
-    let mut engine = PhaseEngine::new(CliqueConfig::unicast(n, bandwidth));
-
-    let mut outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
-    for (v, out) in outs.iter_mut().enumerate().skip(1) {
-        out.send(
-            NodeId::new(0),
-            BitString::from_bools(&graph.adjacency_row(v)),
-        );
-    }
-    let inboxes = engine.exchange("gather rows at leader", outs)?;
-
-    let mut matrix = vec![vec![false; n]; n];
-    matrix[0] = graph.adjacency_row(0);
-    for (sender, payload) in inboxes[0].unicasts() {
-        let mut reader = payload.reader();
-        matrix[sender.index()] = (0..n).map(|_| reader.read_bit().unwrap_or(false)).collect();
-    }
-    let reconstructed = Graph::from_adjacency_matrix(&matrix);
-    debug_assert_eq!(&reconstructed, graph);
-    let witness = find_subgraph(&reconstructed, &pattern.graph());
-
-    Ok(DetectionOutcome::from_metrics(
-        witness.is_some(),
-        witness,
-        engine.metrics(),
-    ))
+    Runner::new(CliqueConfig::unicast(n, bandwidth))
+        .execute(&mut GatherToLeaderDetection::new(graph, pattern))
 }
 
 #[cfg(test)]
@@ -127,7 +176,7 @@ mod tests {
         assert!(outcome.contains);
         assert!(outcome.witness.is_some());
         // ceil(n / b) rounds.
-        assert_eq!(outcome.rounds, 6);
+        assert_eq!(outcome.rounds(), 6);
     }
 
     #[test]
@@ -136,9 +185,9 @@ mod tests {
         let outcome = detect_by_full_broadcast(&g, &Pattern::Clique(4), 3).unwrap();
         assert!(!outcome.contains);
         assert!(outcome.witness.is_none());
-        assert_eq!(outcome.rounds, 5);
+        assert_eq!(outcome.rounds(), 5);
         // Blackboard bits: n rows of n bits.
-        assert_eq!(outcome.total_bits, 15 * 15);
+        assert_eq!(outcome.total_bits(), 15 * 15);
     }
 
     #[test]
@@ -151,7 +200,7 @@ mod tests {
             let b = detect_by_gather_to_leader(&g, &pattern, 2).unwrap();
             assert_eq!(a.contains, b.contains);
             // Both take ceil(n/b) rounds.
-            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.rounds(), b.rounds());
         }
     }
 
@@ -160,8 +209,8 @@ mod tests {
         let g = generators::cycle(32);
         let slow = detect_by_full_broadcast(&g, &Pattern::Cycle(32), 1).unwrap();
         let fast = detect_by_full_broadcast(&g, &Pattern::Cycle(32), 16).unwrap();
-        assert_eq!(slow.rounds, 32);
-        assert_eq!(fast.rounds, 2);
+        assert_eq!(slow.rounds(), 32);
+        assert_eq!(fast.rounds(), 2);
         assert!(slow.contains && fast.contains);
     }
 
@@ -169,10 +218,45 @@ mod tests {
     fn witness_is_a_real_copy() {
         let g = generators::complete(6);
         let outcome = detect_by_full_broadcast(&g, &Pattern::Clique(4), 8).unwrap();
-        let witness = outcome.witness.unwrap();
+        let witness = outcome.output.witness.clone().unwrap();
         let pattern = Pattern::Clique(4).graph();
         for (u, v) in pattern.edges() {
             assert!(g.has_edge(witness[u], witness[v]));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "complete clique topology")]
+    fn full_broadcast_rejects_restricted_topologies() {
+        // On a CONGEST topology a broadcast reaches only neighbours, so the
+        // reconstruct-and-search protocol would silently work from a partial
+        // view; the session guard rejects it up front.
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        let g = generators::cycle(3);
+        let pattern = Pattern::Clique(3);
+        let config = CliqueConfig::builder()
+            .bandwidth(2)
+            .topology(adj)
+            .broadcast()
+            .build();
+        let _ = Runner::new(config).execute(&mut FullBroadcastDetection::new(&g, &pattern));
+    }
+
+    #[test]
+    fn protocols_run_on_explicit_runners() {
+        // The same protocol instance type runs on models the wrappers never
+        // pick, e.g. a wider-bandwidth broadcast clique.
+        let g = generators::complete(6);
+        let pattern = Pattern::Clique(3);
+        let config = CliqueConfig::builder()
+            .nodes(6)
+            .bandwidth(6)
+            .broadcast()
+            .build();
+        let outcome = Runner::new(config)
+            .execute(&mut FullBroadcastDetection::new(&g, &pattern))
+            .unwrap();
+        assert!(outcome.contains);
+        assert_eq!(outcome.rounds(), 1);
     }
 }

@@ -15,13 +15,15 @@
 //!   Lenzen's algorithm (see DESIGN.md, substitution table).
 //!
 //! All routers charge their communication (including forwarding headers) to
-//! a [`clique_sim::PhaseEngine`], so experiment E2 can compare their measured
-//! round counts directly.
+//! the caller's [`clique_sim::Session`], so experiment E2 can compare their
+//! measured round counts directly; [`router::RouteProtocol`] adapts any
+//! router into a [`clique_sim::Protocol`] runnable through a
+//! [`clique_sim::Runner`].
 //!
 //! # Examples
 //!
 //! ```
-//! use clique_routing::{demand::RoutingDemand, router::{BalancedRouter, DirectRouter, Router}};
+//! use clique_routing::{demand::RoutingDemand, router::{BalancedRouter, DirectRouter, RouteProtocol}};
 //! use clique_sim::prelude::*;
 //!
 //! # fn main() -> Result<(), SimError> {
@@ -32,14 +34,12 @@
 //!     demand.send(0, 1, BitString::from_bits(i, 8));
 //! }
 //!
-//! let mut direct_engine = PhaseEngine::new(CliqueConfig::unicast(8, 8));
-//! DirectRouter.route(&demand, &mut direct_engine)?;
-//!
-//! let mut balanced_engine = PhaseEngine::new(CliqueConfig::unicast(8, 8));
-//! BalancedRouter.route(&demand, &mut balanced_engine)?;
+//! let runner = Runner::new(CliqueConfig::builder().nodes(8).bandwidth(8).unicast().build());
+//! let direct = runner.execute(&mut RouteProtocol::new(DirectRouter, &demand))?;
+//! let balanced = runner.execute(&mut RouteProtocol::new(BalancedRouter, &demand))?;
 //!
 //! // The balanced two-phase schedule spreads the load over all links.
-//! assert!(balanced_engine.rounds() < direct_engine.rounds());
+//! assert!(balanced.rounds() < direct.rounds());
 //! # Ok(())
 //! # }
 //! ```
@@ -52,5 +52,6 @@ pub mod router;
 
 pub use demand::{Packet, RoutingDemand};
 pub use router::{
-    direct_round_bound, BalancedRouter, Delivered, DirectRouter, Router, ValiantRouter,
+    direct_round_bound, BalancedRouter, Delivered, DirectRouter, RouteProtocol, Router,
+    ValiantRouter,
 };

@@ -19,8 +19,11 @@
 //!   maximum load of its two links. For balanced demands this yields `O(1)`
 //!   rounds deterministically, matching the guarantee the paper needs.
 //!
-//! All routers charge their communication to a [`PhaseEngine`] so that round
-//! and bit accounting (including forwarding headers) is exact.
+//! All routers charge their communication to the caller's [`Session`] so
+//! that round and bit accounting (including forwarding headers) is exact;
+//! [`RouteProtocol`] adapts any router + demand pair into a
+//! [`Protocol`] runnable through
+//! [`Runner`].
 
 use clique_sim::bits::bits_for_universe;
 use clique_sim::prelude::*;
@@ -34,20 +37,61 @@ pub type Delivered = Vec<Vec<Packet>>;
 /// A routing algorithm on the unicast congested clique.
 pub trait Router {
     /// Delivers every packet of `demand`, charging all communication to
-    /// `engine`. Returns the packets grouped by destination.
+    /// `session`. Returns the packets grouped by destination.
     ///
     /// # Errors
     ///
-    /// Returns a [`SimError`] if the engine rejects a message (e.g. the
-    /// engine was configured with a broadcast-only model).
+    /// Returns a [`SimError`] if the session rejects a message (e.g. the
+    /// session was configured with a broadcast-only model).
     fn route(
         &mut self,
         demand: &RoutingDemand,
-        engine: &mut PhaseEngine,
+        session: &mut Session,
     ) -> Result<Delivered, SimError>;
 
     /// A short name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Boxed routers route by delegation, so heterogeneous router sets can be
+/// swept through one [`RouteProtocol`] type.
+impl<R: Router + ?Sized> Router for Box<R> {
+    fn route(
+        &mut self,
+        demand: &RoutingDemand,
+        session: &mut Session,
+    ) -> Result<Delivered, SimError> {
+        (**self).route(demand, session)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Adapts a [`Router`] plus a demand into a
+/// [`Protocol`] whose output is the
+/// delivered packets, so routing runs under
+/// [`Runner`] like any other protocol.
+#[derive(Clone, Debug)]
+pub struct RouteProtocol<'a, R> {
+    router: R,
+    demand: &'a RoutingDemand,
+}
+
+impl<'a, R: Router> RouteProtocol<'a, R> {
+    /// Pairs a router with the demand it should deliver.
+    pub fn new(router: R, demand: &'a RoutingDemand) -> Self {
+        Self { router, demand }
+    }
+}
+
+impl<R: Router> Protocol for RouteProtocol<'_, R> {
+    type Output = Delivered;
+
+    fn run(&mut self, session: &mut Session) -> Result<Delivered, SimError> {
+        self.router.route(self.demand, session)
+    }
 }
 
 /// Field widths used to serialise packets on the wire.
@@ -108,7 +152,7 @@ impl Router for DirectRouter {
     fn route(
         &mut self,
         demand: &RoutingDemand,
-        engine: &mut PhaseEngine,
+        session: &mut Session,
     ) -> Result<Delivered, SimError> {
         let n = demand.n();
         let codec = PacketCodec::for_demand(demand);
@@ -118,7 +162,7 @@ impl Router for DirectRouter {
             codec.encode(None, &p.payload, &mut wire);
             outs[p.src.index()].send(p.dst, wire);
         }
-        let inboxes = engine.exchange("route/direct", outs)?;
+        let inboxes = session.exchange("route/direct", outs)?;
         let mut delivered: Delivered = vec![Vec::new(); n];
         for (dst, inbox) in inboxes.iter().enumerate() {
             for (src, wire) in inbox.unicasts() {
@@ -156,7 +200,7 @@ impl<R: Rng> Router for ValiantRouter<R> {
     fn route(
         &mut self,
         demand: &RoutingDemand,
-        engine: &mut PhaseEngine,
+        session: &mut Session,
     ) -> Result<Delivered, SimError> {
         let n = demand.n();
         let assignment: Vec<usize> = demand
@@ -164,7 +208,7 @@ impl<R: Rng> Router for ValiantRouter<R> {
             .iter()
             .map(|_| self.rng.gen_range(0..n))
             .collect();
-        two_phase_route(demand, &assignment, engine, "route/valiant")
+        two_phase_route(demand, &assignment, session, "route/valiant")
     }
 
     fn name(&self) -> &'static str {
@@ -181,7 +225,7 @@ impl Router for BalancedRouter {
     fn route(
         &mut self,
         demand: &RoutingDemand,
-        engine: &mut PhaseEngine,
+        session: &mut Session,
     ) -> Result<Delivered, SimError> {
         let n = demand.n();
         // Greedy assignment: give each packet the intermediary minimising the
@@ -208,7 +252,7 @@ impl Router for BalancedRouter {
             down_load[best_w][d] += bits;
             assignment.push(best_w);
         }
-        two_phase_route(demand, &assignment, engine, "route/balanced")
+        two_phase_route(demand, &assignment, session, "route/balanced")
     }
 
     fn name(&self) -> &'static str {
@@ -223,7 +267,7 @@ impl Router for BalancedRouter {
 fn two_phase_route(
     demand: &RoutingDemand,
     assignment: &[usize],
-    engine: &mut PhaseEngine,
+    session: &mut Session,
     label: &str,
 ) -> Result<Delivered, SimError> {
     let n = demand.n();
@@ -244,7 +288,7 @@ fn two_phase_route(
         codec.encode(Some(p.dst), &p.payload, &mut wire);
         outs[p.src.index()].send(NodeId::new(w), wire);
     }
-    let inboxes = engine.exchange(&format!("{label}/phase1"), outs)?;
+    let inboxes = session.exchange(&format!("{label}/phase1"), outs)?;
     for (w, inbox) in inboxes.iter().enumerate() {
         for (src, wire) in inbox.unicasts() {
             let mut reader = wire.reader();
@@ -273,7 +317,7 @@ fn two_phase_route(
             outs[w].send(p.dst, wire);
         }
     }
-    let inboxes2 = engine.exchange(&format!("{label}/phase2"), outs)?;
+    let inboxes2 = session.exchange(&format!("{label}/phase2"), outs)?;
     for (dst, inbox) in inboxes2.iter().enumerate() {
         for (_, wire) in inbox.unicasts() {
             let mut reader = wire.reader();
@@ -353,10 +397,16 @@ mod tests {
     }
 
     fn run_router<R: Router>(router: &mut R, demand: &RoutingDemand, b: usize) -> u64 {
-        let mut engine = PhaseEngine::new(CliqueConfig::unicast(demand.n(), b));
-        let delivered = router.route(demand, &mut engine).expect("routing failed");
+        let mut session = Session::new(
+            CliqueConfig::builder()
+                .nodes(demand.n())
+                .bandwidth(b)
+                .unicast()
+                .build(),
+        );
+        let delivered = router.route(demand, &mut session).expect("routing failed");
         check_delivery(demand, &delivered);
-        engine.rounds()
+        session.rounds()
     }
 
     #[test]
@@ -442,8 +492,10 @@ mod tests {
         let mut demand = RoutingDemand::new(4);
         demand.send(0, 1, BitString::new());
         demand.send(2, 3, BitString::from_bits(1, 1));
-        let mut engine = PhaseEngine::new(CliqueConfig::unicast(4, 4));
-        let delivered = BalancedRouter.route(&demand, &mut engine).unwrap();
+        let delivered = Runner::new(CliqueConfig::unicast(4, 4))
+            .execute(&mut RouteProtocol::new(BalancedRouter, &demand))
+            .unwrap()
+            .into_output();
         assert_eq!(delivered[1].len(), 1);
         assert_eq!(delivered[1][0].payload.len(), 0);
         assert_eq!(delivered[3].len(), 1);

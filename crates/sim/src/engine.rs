@@ -1,6 +1,6 @@
 //! The low-level, bit-strict round engine.
 //!
-//! [`RoundEngine`] runs one [`NodeAlgorithm`](crate::node::NodeAlgorithm)
+//! [`RoundEngine`] runs one [`NodeAlgorithm`]
 //! instance per player in synchronous rounds, enforcing the model rules
 //! exactly: in each round a player may put at most `b` bits on each of its
 //! links (unicast) or write a single message of at most `b` bits on the
@@ -9,7 +9,9 @@
 //! charges rounds with the same accounting but lets algorithms hand over
 //! arbitrarily long logical messages.
 
-use crate::metrics::{Metrics, PhaseRecord, RunReport};
+use std::sync::Arc;
+
+use crate::metrics::{Metrics, RunReport};
 use crate::model::{CliqueConfig, SimError};
 use crate::node::{validate_outbox, Inbox, NodeAlgorithm, NodeCtx, NodeId, Outbox};
 
@@ -65,6 +67,13 @@ pub struct RoundEngine<A> {
     started: bool,
     /// Messages delivered at the start of the next round, indexed by receiver.
     next_inboxes: Vec<Inbox>,
+    /// Double buffer for `next_inboxes`: last round's (consumed) inboxes,
+    /// cleared and reused instead of reallocating `n` inboxes per round.
+    prev_inboxes: Vec<Inbox>,
+    /// Per-node outbox scratch, cleared and reused every round.
+    outboxes: Vec<Outbox>,
+    /// Scratch for [`validate_outbox`]'s duplicate-destination check.
+    seen: Vec<bool>,
 }
 
 impl<A: NodeAlgorithm> RoundEngine<A> {
@@ -89,6 +98,9 @@ impl<A: NodeAlgorithm> RoundEngine<A> {
             round: 0,
             started: false,
             next_inboxes: vec![Inbox::empty(n); n],
+            prev_inboxes: vec![Inbox::empty(n); n],
+            outboxes: vec![Outbox::new(); n],
+            seen: Vec::with_capacity(n),
         }
     }
 
@@ -141,50 +153,53 @@ impl<A: NodeAlgorithm> RoundEngine<A> {
             }
         }
 
-        let inboxes = std::mem::replace(&mut self.next_inboxes, vec![Inbox::empty(n); n]);
+        // Double-buffer swap: `prev_inboxes` now holds this round's
+        // deliveries; the buffer consumed last round is cleared in place and
+        // becomes the delivery target, so no inbox vector is reallocated —
+        // and a silent round touches nothing at all.
+        std::mem::swap(&mut self.next_inboxes, &mut self.prev_inboxes);
+        for inbox in &mut self.next_inboxes {
+            inbox.clear();
+        }
 
-        // Collect outboxes.
-        let mut outboxes: Vec<Outbox> = Vec::with_capacity(n);
+        // Collect outboxes into the per-node scratch.
         for (i, node) in self.nodes.iter_mut().enumerate() {
             let ctx = NodeCtx {
                 id: NodeId::new(i),
                 round: self.round,
                 config: &self.config,
             };
-            let mut outbox = Outbox::new();
-            node.round(&ctx, &inboxes[i], &mut outbox);
-            outboxes.push(outbox);
+            self.outboxes[i].clear();
+            node.round(&ctx, &self.prev_inboxes[i], &mut self.outboxes[i]);
         }
 
         // Validate and deliver.
         let mut bits = 0u64;
         let mut messages = 0u64;
         let mut max_link = 0u64;
-        for (i, outbox) in outboxes.into_iter().enumerate() {
+        for i in 0..n {
             let sender = NodeId::new(i);
-            let sent = validate_outbox(sender, &outbox, &self.config, true)?;
+            let outbox = &mut self.outboxes[i];
+            let sent = validate_outbox(sender, outbox, &self.config, true, &mut self.seen)?;
             bits += sent;
-            for (dst, msg) in outbox.unicasts {
+            for (dst, msg) in outbox.unicasts.drain(..) {
                 max_link = max_link.max(msg.len() as u64);
                 messages += 1;
-                self.next_inboxes[dst.index()].insert(sender, msg);
+                self.next_inboxes[dst.index()].insert_owned(sender, msg);
             }
-            if let Some(msg) = outbox.broadcast {
+            if let Some(msg) = outbox.broadcast.take() {
                 max_link = max_link.max(msg.len() as u64);
+                // One shared allocation per broadcast, a pointer clone per
+                // receiver.
+                let shared = Arc::new(msg);
                 for dst in self.config.topology.neighbors(sender, n) {
                     messages += 1;
-                    self.next_inboxes[dst.index()].insert(sender, msg.clone());
+                    self.next_inboxes[dst.index()].insert_shared(sender, Arc::clone(&shared));
                 }
             }
         }
 
-        self.metrics.record_phase(PhaseRecord {
-            label: format!("round {}", self.round),
-            rounds: 1,
-            bits,
-            messages,
-            max_link_bits_per_round: max_link,
-        });
+        self.metrics.record_round(bits, messages, max_link);
         self.round += 1;
 
         Ok(self.nodes.iter().all(NodeAlgorithm::halted) && self.in_flight_empty())

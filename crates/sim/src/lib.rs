@@ -11,17 +11,24 @@
 //! * **`CONGEST-UCAST(n, b)`** — unicast, but only along the edges of an
 //!   arbitrary topology (the communication network equals the input graph).
 //!
-//! Two execution engines are provided:
+//! Protocols are written against the [`protocol::Protocol`] /
+//! [`session::Session`] API: a protocol is model-independent, a
+//! [`model::CliqueConfig`] (built with [`model::CliqueConfig::builder`])
+//! picks the model, and [`protocol::Runner`] pairs the two and returns an
+//! [`outcome::RunOutcome`] with the full round/bit ledger.
+//! [`protocol::Runner::sweep`] measures a protocol across an `(n, b)` grid.
+//!
+//! Underneath, two execution engines do the accounting — a [`Session`]
+//! fronts both:
 //!
 //! * [`engine::RoundEngine`] — strict, round-by-round execution of a
 //!   [`node::NodeAlgorithm`] per player, rejecting any message longer than
-//!   `b` bits. Use it when the per-round behaviour itself is the object of
-//!   study.
+//!   `b` bits. Use it (via [`session::Session::run_nodes`]) when the
+//!   per-round behaviour itself is the object of study.
 //! * [`phase::PhaseEngine`] — bulk-synchronous phases carrying arbitrarily
-//!   long logical messages, charged `ceil(max link load / b)` rounds. This is
-//!   what the higher-level crates (`clique-core`, `clique-routing`) build
-//!   their protocols on; the accounting is identical to chunking every long
-//!   message into `b`-bit pieces.
+//!   long logical messages, charged `ceil(max link load / b)` rounds
+//!   ([`session::Session::exchange`]); the accounting is identical to
+//!   chunking every long message into `b`-bit pieces.
 //!
 //! # Examples
 //!
@@ -32,13 +39,15 @@
 //! // The trivial algorithm of Section 3.1: in CLIQUE-BCAST(n, b) every node
 //! // broadcasts its whole neighbourhood (n bits), taking ceil(n / b) rounds.
 //! let n = 16;
-//! let cfg = CliqueConfig::broadcast(n, 4);
-//! let mut engine = PhaseEngine::new(cfg);
-//! let rows: Vec<BitString> = (0..n)
-//!     .map(|i| BitString::from_bools(&vec![i % 2 == 0; n]))
-//!     .collect();
-//! engine.broadcast_all("send adjacency rows", &rows)?;
-//! assert_eq!(engine.rounds(), (n as u64).div_ceil(4));
+//! let config = CliqueConfig::builder().nodes(n).bandwidth(4).broadcast().build();
+//! let outcome = Runner::new(config).execute(&mut |session: &mut Session| {
+//!     let rows: Vec<BitString> = (0..n)
+//!         .map(|i| BitString::from_bools(&vec![i % 2 == 0; n]))
+//!         .collect();
+//!     session.broadcast_all("send adjacency rows", &rows)?;
+//!     Ok(())
+//! })?;
+//! assert_eq!(outcome.rounds(), (n as u64).div_ceil(4));
 //! # Ok(())
 //! # }
 //! ```
@@ -51,20 +60,31 @@ pub mod engine;
 pub mod metrics;
 pub mod model;
 pub mod node;
+pub mod outcome;
 pub mod phase;
+pub mod protocol;
+pub mod session;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::bits::{bits_for_universe, BitReader, BitString};
     pub use crate::engine::RoundEngine;
     pub use crate::metrics::{Metrics, PhaseRecord, RunReport};
-    pub use crate::model::{AdjacencyTopology, CliqueConfig, CommMode, SimError, Topology};
+    pub use crate::model::{
+        AdjacencyTopology, CliqueConfig, CliqueConfigBuilder, CommMode, SimError, Topology,
+    };
     pub use crate::node::{Inbox, NodeAlgorithm, NodeCtx, NodeId, Outbox};
+    pub use crate::outcome::RunOutcome;
     pub use crate::phase::{PhaseEngine, PhaseInbox, PhaseOutbox};
+    pub use crate::protocol::{Protocol, Runner, SweepPoint};
+    pub use crate::session::{NodeRun, Session};
 }
 
 pub use bits::BitString;
 pub use metrics::{Metrics, RunReport};
-pub use model::{CliqueConfig, CommMode, SimError};
+pub use model::{CliqueConfig, CliqueConfigBuilder, CommMode, SimError};
 pub use node::NodeId;
+pub use outcome::RunOutcome;
 pub use phase::PhaseEngine;
+pub use protocol::{Protocol, Runner, SweepPoint};
+pub use session::{NodeRun, Session};

@@ -155,6 +155,27 @@ pub struct CliqueConfig {
 }
 
 impl CliqueConfig {
+    /// Starts a [`CliqueConfigBuilder`] — the composable way to describe a
+    /// model instance (and the only constructor the algorithm crates use).
+    ///
+    /// Defaults: unicast mode, clique topology, `⌈log₂ n⌉` bandwidth.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clique_sim::model::{CliqueConfig, CommMode};
+    ///
+    /// let cfg = CliqueConfig::builder().nodes(64).bandwidth(6).broadcast().build();
+    /// assert_eq!(cfg, CliqueConfig::broadcast(64, 6));
+    ///
+    /// // Omitting the bandwidth picks the O(log n) regime of [8, 28].
+    /// let cfg = CliqueConfig::builder().nodes(1024).unicast().build();
+    /// assert_eq!(cfg.bandwidth, 10);
+    /// ```
+    pub fn builder() -> CliqueConfigBuilder {
+        CliqueConfigBuilder::default()
+    }
+
     /// `CLIQUE-UCAST(n, b)`: unicast congested clique.
     ///
     /// # Panics
@@ -217,6 +238,141 @@ impl CliqueConfig {
             CommMode::Unicast => (self.n as u64) * (self.n as u64 - 1) * self.bandwidth as u64,
             CommMode::Broadcast => (self.n as u64) * self.bandwidth as u64,
         }
+    }
+}
+
+/// Builder for [`CliqueConfig`], obtained from [`CliqueConfig::builder`].
+///
+/// The builder doubles as a *prototype* for parameter sweeps: fix the mode
+/// and topology once, then [`CliqueConfigBuilder::grid`] stamps out one
+/// config per `(n, b)` point.
+#[derive(Clone, Debug)]
+pub struct CliqueConfigBuilder {
+    n: Option<usize>,
+    bandwidth: Option<usize>,
+    mode: CommMode,
+    topology: Topology,
+}
+
+impl Default for CliqueConfigBuilder {
+    fn default() -> Self {
+        Self {
+            n: None,
+            bandwidth: None,
+            mode: CommMode::Unicast,
+            topology: Topology::Clique,
+        }
+    }
+}
+
+impl CliqueConfigBuilder {
+    /// Sets the number of players.
+    #[must_use]
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.n = Some(n);
+        self
+    }
+
+    /// Sets the link bandwidth in bits per round.
+    #[must_use]
+    pub fn bandwidth(mut self, bandwidth: usize) -> Self {
+        self.bandwidth = Some(bandwidth);
+        self
+    }
+
+    /// Uses the `O(log n)` bandwidth regime (`⌈log₂ n⌉`, at least 1 bit).
+    /// This is also the default when no bandwidth is set.
+    #[must_use]
+    pub fn log_bandwidth(mut self) -> Self {
+        self.bandwidth = None;
+        self
+    }
+
+    /// Sets the communication mode.
+    #[must_use]
+    pub fn mode(mut self, mode: CommMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for `mode(CommMode::Unicast)`.
+    #[must_use]
+    pub fn unicast(self) -> Self {
+        self.mode(CommMode::Unicast)
+    }
+
+    /// Shorthand for `mode(CommMode::Broadcast)`.
+    #[must_use]
+    pub fn broadcast(self) -> Self {
+        self.mode(CommMode::Broadcast)
+    }
+
+    /// Restricts communication to the edges of `topology`
+    /// (the CONGEST setting); also infers `nodes` when unset.
+    #[must_use]
+    pub fn topology(mut self, topology: AdjacencyTopology) -> Self {
+        if self.n.is_none() {
+            self.n = Some(topology.len());
+        }
+        self.topology = Topology::Graph(topology);
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` was never set, if `n == 0` or `bandwidth == 0`, or
+    /// if an explicit topology disagrees with `n`.
+    pub fn build(self) -> CliqueConfig {
+        let n = self.n.expect("CliqueConfigBuilder: nodes(n) must be set");
+        let bandwidth = self.bandwidth.unwrap_or_else(|| log2_ceil(n).max(1));
+        if let Topology::Graph(adj) = &self.topology {
+            assert_eq!(adj.len(), n, "topology has {} nodes but n = {n}", adj.len());
+        }
+        CliqueConfig::validated(n, bandwidth, self.mode, self.topology)
+    }
+
+    /// Stamps out one config per `(n, b)` grid point, using this builder as
+    /// the prototype for everything else. An empty `bandwidths` slice uses
+    /// the builder's own bandwidth choice (explicit or `⌈log₂ n⌉`) for
+    /// every `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prototype carries an explicit [`Topology::Graph`]: a
+    /// fixed CONGEST graph has one node count and cannot be resized across
+    /// a grid — build such configs individually instead.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clique_sim::model::CliqueConfig;
+    ///
+    /// let grid = CliqueConfig::builder().broadcast().grid(&[16, 32], &[1, 4]);
+    /// assert_eq!(grid.len(), 4);
+    /// assert_eq!(grid[3], CliqueConfig::broadcast(32, 4));
+    ///
+    /// let logs = CliqueConfig::builder().unicast().grid(&[256], &[]);
+    /// assert_eq!(logs[0].bandwidth, 8);
+    /// ```
+    pub fn grid(&self, nodes: &[usize], bandwidths: &[usize]) -> Vec<CliqueConfig> {
+        assert!(
+            matches!(self.topology, Topology::Clique),
+            "grid() needs a clique-topology prototype; a fixed CONGEST graph \
+             cannot be resized across the grid"
+        );
+        let mut configs = Vec::new();
+        for &n in nodes {
+            if bandwidths.is_empty() {
+                configs.push(self.clone().nodes(n).build());
+            } else {
+                for &b in bandwidths {
+                    configs.push(self.clone().nodes(n).bandwidth(b).build());
+                }
+            }
+        }
+        configs
     }
 }
 
@@ -326,6 +482,79 @@ mod tests {
         assert_eq!(b.bits_per_round(), 8 * 3);
         assert_eq!(CliqueConfig::unicast_logn(1024).bandwidth, 10);
         assert_eq!(CliqueConfig::broadcast_logn(2).bandwidth, 1);
+    }
+
+    #[test]
+    fn builder_matches_constructors() {
+        assert_eq!(
+            CliqueConfig::builder()
+                .nodes(8)
+                .bandwidth(3)
+                .unicast()
+                .build(),
+            CliqueConfig::unicast(8, 3)
+        );
+        assert_eq!(
+            CliqueConfig::builder()
+                .nodes(8)
+                .bandwidth(3)
+                .broadcast()
+                .build(),
+            CliqueConfig::broadcast(8, 3)
+        );
+        assert_eq!(
+            CliqueConfig::builder().nodes(1024).log_bandwidth().build(),
+            CliqueConfig::unicast_logn(1024)
+        );
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        assert_eq!(
+            CliqueConfig::builder()
+                .bandwidth(2)
+                .topology(adj.clone())
+                .build(),
+            CliqueConfig::congest(3, 2, adj)
+        );
+    }
+
+    #[test]
+    fn builder_grid_stamps_configs() {
+        let grid = CliqueConfig::builder()
+            .broadcast()
+            .grid(&[4, 8], &[1, 2, 3]);
+        assert_eq!(grid.len(), 6);
+        assert!(grid.iter().all(|c| c.mode == CommMode::Broadcast));
+        assert_eq!(grid[5], CliqueConfig::broadcast(8, 3));
+        // Empty bandwidth grid: one config per n at log bandwidth.
+        let logs = CliqueConfig::builder().grid(&[2, 16], &[]);
+        assert_eq!(logs[0].bandwidth, 1);
+        assert_eq!(logs[1].bandwidth, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "clique-topology prototype")]
+    fn grid_rejects_fixed_topology_prototypes() {
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        let _ = CliqueConfig::builder()
+            .bandwidth(2)
+            .topology(adj)
+            .grid(&[8], &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes(n) must be set")]
+    fn builder_without_nodes_panics() {
+        let _ = CliqueConfig::builder().bandwidth(2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "topology has")]
+    fn builder_topology_mismatch_panics() {
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        let _ = CliqueConfig::builder()
+            .nodes(5)
+            .bandwidth(1)
+            .topology(adj)
+            .build();
     }
 
     #[test]

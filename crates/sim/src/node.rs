@@ -2,6 +2,7 @@
 //! algorithms for the low-level round engine.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::bits::BitString;
 use crate::model::{CliqueConfig, CommMode};
@@ -63,10 +64,29 @@ impl NodeCtx<'_> {
     }
 }
 
+/// A delivered payload: unicasts are moved in and owned by the receiving
+/// inbox (no extra allocation), broadcasts are [`Arc`]-shared across all
+/// receivers (a pointer clone per receiver instead of the message bits).
+#[derive(Clone, Debug)]
+enum Payload {
+    Owned(BitString),
+    Shared(Arc<BitString>),
+}
+
+impl Payload {
+    fn bits(&self) -> &BitString {
+        match self {
+            Payload::Owned(bits) => bits,
+            Payload::Shared(bits) => bits,
+        }
+    }
+}
+
 /// Messages received by one node in one round, indexed by sender.
 #[derive(Clone, Debug, Default)]
 pub struct Inbox {
-    messages: Vec<Option<BitString>>,
+    messages: Vec<Option<Payload>>,
+    occupied: usize,
 }
 
 impl Inbox {
@@ -74,16 +94,44 @@ impl Inbox {
     pub fn empty(n: usize) -> Self {
         Self {
             messages: vec![None; n],
+            occupied: 0,
         }
     }
 
-    pub(crate) fn insert(&mut self, sender: NodeId, message: BitString) {
-        self.messages[sender.index()] = Some(message);
+    /// Delivers a unicast payload, moving it into the slot.
+    pub(crate) fn insert_owned(&mut self, sender: NodeId, message: BitString) {
+        self.insert(sender, Payload::Owned(message));
+    }
+
+    /// Delivers one receiver's share of a broadcast payload.
+    pub(crate) fn insert_shared(&mut self, sender: NodeId, message: Arc<BitString>) {
+        self.insert(sender, Payload::Shared(message));
+    }
+
+    fn insert(&mut self, sender: NodeId, message: Payload) {
+        let slot = &mut self.messages[sender.index()];
+        if slot.is_none() {
+            self.occupied += 1;
+        }
+        *slot = Some(message);
+    }
+
+    /// Empties the inbox while keeping its allocation for reuse.
+    pub(crate) fn clear(&mut self) {
+        if self.occupied == 0 {
+            return;
+        }
+        for slot in &mut self.messages {
+            *slot = None;
+        }
+        self.occupied = 0;
     }
 
     /// The message received from `sender` this round, if any.
     pub fn from(&self, sender: NodeId) -> Option<&BitString> {
-        self.messages.get(sender.index()).and_then(|m| m.as_ref())
+        self.messages
+            .get(sender.index())
+            .and_then(|m| m.as_ref().map(Payload::bits))
     }
 
     /// Iterates over `(sender, message)` pairs in increasing sender order.
@@ -91,17 +139,17 @@ impl Inbox {
         self.messages
             .iter()
             .enumerate()
-            .filter_map(|(i, m)| m.as_ref().map(|m| (NodeId::new(i), m)))
+            .filter_map(|(i, m)| m.as_ref().map(|m| (NodeId::new(i), m.bits())))
     }
 
-    /// Number of messages received.
+    /// Number of messages received (tracked, so this is `O(1)`).
     pub fn len(&self) -> usize {
-        self.messages.iter().filter(|m| m.is_some()).count()
+        self.occupied
     }
 
     /// Returns `true` if nothing was received.
     pub fn is_empty(&self) -> bool {
-        self.messages.iter().all(|m| m.is_none())
+        self.occupied == 0
     }
 }
 
@@ -140,6 +188,12 @@ impl Outbox {
         self.unicasts.is_empty() && self.broadcast.is_none()
     }
 
+    /// Empties the outbox while keeping its allocation for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.unicasts.clear();
+        self.broadcast = None;
+    }
+
     /// Total number of payload bits queued (counting a broadcast once).
     pub fn queued_bits(&self) -> usize {
         self.unicasts.iter().map(|(_, m)| m.len()).sum::<usize>()
@@ -171,11 +225,15 @@ pub trait NodeAlgorithm {
 
 /// Validates an outbox against the model rules, returning the number of
 /// payload bits it will place on the network.
+///
+/// `seen` is caller-provided scratch (reset here), so per-round validation
+/// does not allocate.
 pub(crate) fn validate_outbox(
     sender: NodeId,
     outbox: &Outbox,
     config: &CliqueConfig,
     strict_bandwidth: bool,
+    seen: &mut Vec<bool>,
 ) -> Result<u64, crate::model::SimError> {
     use crate::model::SimError;
 
@@ -183,7 +241,8 @@ pub(crate) fn validate_outbox(
     if config.mode == CommMode::Broadcast && !outbox.unicasts.is_empty() {
         return Err(SimError::UnicastInBroadcastModel { sender });
     }
-    let mut seen = vec![false; n];
+    seen.clear();
+    seen.resize(n, false);
     let mut bits_on_network = 0u64;
     for (dst, msg) in &outbox.unicasts {
         if dst.index() >= n {
@@ -241,6 +300,15 @@ mod tests {
     use super::*;
     use crate::model::SimError;
 
+    fn validate(
+        sender: NodeId,
+        outbox: &Outbox,
+        config: &CliqueConfig,
+        strict: bool,
+    ) -> Result<u64, SimError> {
+        validate_outbox(sender, outbox, config, strict, &mut Vec::new())
+    }
+
     #[test]
     fn node_id_conversions() {
         let id = NodeId::new(7);
@@ -254,12 +322,20 @@ mod tests {
     fn inbox_insert_and_query() {
         let mut inbox = Inbox::empty(4);
         assert!(inbox.is_empty());
-        inbox.insert(NodeId::new(2), BitString::from_bits(3, 2));
+        inbox.insert_owned(NodeId::new(2), BitString::from_bits(3, 2));
         assert_eq!(inbox.len(), 1);
         assert!(inbox.from(NodeId::new(2)).is_some());
         assert!(inbox.from(NodeId::new(1)).is_none());
         let collected: Vec<_> = inbox.iter().map(|(s, _)| s.index()).collect();
         assert_eq!(collected, vec![2]);
+        // Overwriting the same slot does not double-count, and shared
+        // (broadcast) payloads read back like owned ones.
+        inbox.insert_shared(NodeId::new(2), Arc::new(BitString::from_bits(1, 1)));
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox.from(NodeId::new(2)).unwrap().len(), 1);
+        inbox.clear();
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.len(), 0);
     }
 
     #[test]
@@ -277,7 +353,7 @@ mod tests {
         let cfg = CliqueConfig::broadcast(4, 8);
         let mut out = Outbox::new();
         out.send(NodeId::new(1), BitString::from_bits(1, 1));
-        let err = validate_outbox(NodeId::new(0), &out, &cfg, true).unwrap_err();
+        let err = validate(NodeId::new(0), &out, &cfg, true).unwrap_err();
         assert!(matches!(err, SimError::UnicastInBroadcastModel { .. }));
     }
 
@@ -287,7 +363,7 @@ mod tests {
         let mut out = Outbox::new();
         out.send(NodeId::new(0), BitString::new());
         assert!(matches!(
-            validate_outbox(NodeId::new(0), &out, &cfg, true),
+            validate(NodeId::new(0), &out, &cfg, true),
             Err(SimError::SelfMessage { .. })
         ));
 
@@ -295,14 +371,14 @@ mod tests {
         out.send(NodeId::new(1), BitString::new());
         out.send(NodeId::new(1), BitString::new());
         assert!(matches!(
-            validate_outbox(NodeId::new(0), &out, &cfg, true),
+            validate(NodeId::new(0), &out, &cfg, true),
             Err(SimError::DuplicateMessage { .. })
         ));
 
         let mut out = Outbox::new();
         out.send(NodeId::new(9), BitString::new());
         assert!(matches!(
-            validate_outbox(NodeId::new(0), &out, &cfg, true),
+            validate(NodeId::new(0), &out, &cfg, true),
             Err(SimError::InvalidNode { .. })
         ));
     }
@@ -313,10 +389,10 @@ mod tests {
         let mut out = Outbox::new();
         out.send(NodeId::new(1), BitString::from_bits(7, 3));
         assert!(matches!(
-            validate_outbox(NodeId::new(0), &out, &cfg, true),
+            validate(NodeId::new(0), &out, &cfg, true),
             Err(SimError::BandwidthExceeded { .. })
         ));
-        assert_eq!(validate_outbox(NodeId::new(0), &out, &cfg, false), Ok(3));
+        assert_eq!(validate(NodeId::new(0), &out, &cfg, false), Ok(3));
     }
 
     #[test]
@@ -325,10 +401,10 @@ mod tests {
         let mut out = Outbox::new();
         out.broadcast(BitString::from_bits(0b101, 3));
         // 3 bits to each of the 4 neighbours.
-        assert_eq!(validate_outbox(NodeId::new(0), &out, &cfg, true), Ok(12));
+        assert_eq!(validate(NodeId::new(0), &out, &cfg, true), Ok(12));
         // In the blackboard model the same message is only written once.
         let cfg_b = CliqueConfig::broadcast(5, 8);
-        assert_eq!(validate_outbox(NodeId::new(0), &out, &cfg_b, true), Ok(3));
+        assert_eq!(validate(NodeId::new(0), &out, &cfg_b, true), Ok(3));
     }
 
     #[test]
@@ -339,7 +415,7 @@ mod tests {
         let mut out = Outbox::new();
         out.send(NodeId::new(2), BitString::from_bits(1, 1));
         assert!(matches!(
-            validate_outbox(NodeId::new(0), &out, &cfg, true),
+            validate(NodeId::new(0), &out, &cfg, true),
             Err(SimError::NotAnEdge { .. })
         ));
     }

@@ -1,0 +1,182 @@
+//! The shared result type of protocol executions.
+//!
+//! Every protocol run on the simulator produces the same two things: a
+//! protocol-specific output (a decision, a reconstructed graph, circuit
+//! outputs, …) and the communication [`Metrics`] the run was charged.
+//! [`RunOutcome`] pairs them once, so the algorithm crates no longer
+//! duplicate `rounds`/`total_bits` fields in every result struct. The
+//! outcome [`Deref`]s to the output, so `outcome.contains` and friends keep
+//! reading naturally at call sites.
+
+use std::ops::{Deref, DerefMut};
+
+use crate::metrics::Metrics;
+
+/// The result of executing a [`Protocol`](crate::protocol::Protocol): the
+/// protocol's output plus the full communication accounting of the run.
+///
+/// # Examples
+///
+/// ```
+/// use clique_sim::prelude::*;
+///
+/// # fn main() -> Result<(), clique_sim::model::SimError> {
+/// let config = CliqueConfig::builder().nodes(4).bandwidth(2).broadcast().build();
+/// let outcome = Runner::new(config).execute(&mut |session: &mut Session| {
+///     let msgs: Vec<BitString> = (0..4).map(|i| BitString::from_bits(i, 6)).collect();
+///     session.broadcast_all("announce", &msgs)?;
+///     Ok("done")
+/// })?;
+/// assert_eq!(*outcome, "done");
+/// assert_eq!(outcome.rounds(), 3); // ceil(6 / 2)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome<T> {
+    /// The protocol-specific output of the run.
+    pub output: T,
+    /// Communication metrics charged to the run.
+    pub metrics: Metrics,
+}
+
+impl<T> RunOutcome<T> {
+    /// Pairs an output with the metrics of its run.
+    pub fn new(output: T, metrics: Metrics) -> Self {
+        Self { output, metrics }
+    }
+
+    /// Rounds used by the run.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds
+    }
+
+    /// Total payload bits placed on the network / blackboard.
+    pub fn total_bits(&self) -> u64 {
+        self.metrics.total_bits
+    }
+
+    /// Total messages placed on the network.
+    pub fn messages(&self) -> u64 {
+        self.metrics.messages
+    }
+
+    /// The maximum number of rounds charged to any single phase of the run.
+    ///
+    /// An aggregated strict-round record
+    /// ([`PhaseRecord::strict_rounds`](crate::metrics::PhaseRecord::strict_rounds))
+    /// represents `k` consecutive one-round steps, not one `k`-round phase,
+    /// so it contributes 1 here.
+    pub fn max_phase_rounds(&self) -> u64 {
+        self.metrics
+            .phases
+            .iter()
+            .map(|p| {
+                if p.strict_rounds {
+                    p.rounds.min(1)
+                } else {
+                    p.rounds
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Consumes the outcome, returning the output and dropping the metrics.
+    pub fn into_output(self) -> T {
+        self.output
+    }
+
+    /// Maps the output, keeping the metrics.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> RunOutcome<U> {
+        RunOutcome {
+            output: f(self.output),
+            metrics: self.metrics,
+        }
+    }
+}
+
+impl<T> Deref for RunOutcome<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.output
+    }
+}
+
+impl<T> DerefMut for RunOutcome<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PhaseRecord;
+
+    fn metrics() -> Metrics {
+        let mut m = Metrics::new();
+        m.record_phase(PhaseRecord {
+            label: "a".into(),
+            rounds: 2,
+            bits: 9,
+            messages: 3,
+            max_link_bits_per_round: 4,
+            strict_rounds: false,
+        });
+        m.record_phase(PhaseRecord {
+            label: "b".into(),
+            rounds: 5,
+            bits: 1,
+            messages: 1,
+            max_link_bits_per_round: 1,
+            strict_rounds: false,
+        });
+        m
+    }
+
+    #[test]
+    fn accessors_read_the_metrics() {
+        let o = RunOutcome::new(true, metrics());
+        assert_eq!(o.rounds(), 7);
+        assert_eq!(o.total_bits(), 10);
+        assert_eq!(o.messages(), 4);
+        assert_eq!(o.max_phase_rounds(), 5);
+        assert!(*o);
+    }
+
+    #[test]
+    fn max_phase_rounds_counts_strict_rounds_individually() {
+        // k aggregated strict rounds are k one-round steps, not one k-round
+        // phase.
+        let mut m = Metrics::new();
+        for _ in 0..5 {
+            m.record_round(1, 1, 1);
+        }
+        m.record_phase(PhaseRecord {
+            label: "bulk".into(),
+            rounds: 3,
+            bits: 6,
+            messages: 2,
+            max_link_bits_per_round: 2,
+            strict_rounds: false,
+        });
+        let o = RunOutcome::new((), m);
+        assert_eq!(o.rounds(), 8);
+        assert_eq!(o.max_phase_rounds(), 3);
+    }
+
+    #[test]
+    fn deref_and_map() {
+        struct Inner {
+            value: u32,
+        }
+        let o = RunOutcome::new(Inner { value: 7 }, metrics());
+        assert_eq!(o.value, 7);
+        let mapped = o.map(|inner| inner.value * 2);
+        assert_eq!(*mapped, 14);
+        assert_eq!(mapped.rounds(), 7);
+        assert_eq!(mapped.into_output(), 14);
+    }
+}

@@ -15,6 +15,8 @@
 //! implementation, and the protocol implementations in `clique-core` are
 //! structured so that per-node state is only updated from delivered inboxes.
 
+use std::sync::Arc;
+
 use crate::bits::BitString;
 use crate::metrics::{Metrics, PhaseRecord};
 use crate::model::{CliqueConfig, CommMode, SimError};
@@ -51,9 +53,13 @@ impl PhaseOutbox {
 }
 
 /// Messages delivered to one node at the end of a phase.
+///
+/// Broadcast payloads are [`Arc`]-shared across the `n - 1` receiving
+/// inboxes, so a phase delivers each broadcast by cloning a pointer per
+/// receiver instead of the message bits.
 #[derive(Clone, Debug, Default)]
 pub struct PhaseInbox {
-    broadcasts: Vec<Option<BitString>>,
+    broadcasts: Vec<Option<Arc<BitString>>>,
     unicasts: Vec<Option<BitString>>,
 }
 
@@ -67,7 +73,9 @@ impl PhaseInbox {
 
     /// The broadcast written by `sender` during the phase, if any.
     pub fn broadcast_from(&self, sender: NodeId) -> Option<&BitString> {
-        self.broadcasts.get(sender.index()).and_then(|m| m.as_ref())
+        self.broadcasts
+            .get(sender.index())
+            .and_then(|m| m.as_deref())
     }
 
     /// The (concatenated) unicast payload received from `sender`, if any.
@@ -80,7 +88,7 @@ impl PhaseInbox {
         self.broadcasts
             .iter()
             .enumerate()
-            .filter_map(|(i, m)| m.as_ref().map(|m| (NodeId::new(i), m)))
+            .filter_map(|(i, m)| m.as_deref().map(|m| (NodeId::new(i), m)))
     }
 
     /// Iterates over `(sender, payload)` pairs of unicasts received.
@@ -95,10 +103,15 @@ impl PhaseInbox {
     pub fn received_bits(&self) -> usize {
         self.broadcasts
             .iter()
-            .chain(self.unicasts.iter())
-            .filter_map(|m| m.as_ref())
+            .filter_map(|m| m.as_deref())
             .map(BitString::len)
-            .sum()
+            .sum::<usize>()
+            + self
+                .unicasts
+                .iter()
+                .filter_map(|m| m.as_ref())
+                .map(BitString::len)
+                .sum::<usize>()
     }
 }
 
@@ -135,6 +148,8 @@ impl PhaseInbox {
 pub struct PhaseEngine {
     config: CliqueConfig,
     metrics: Metrics,
+    /// Per-destination load scratch, reused across senders and phases.
+    dest_load: Vec<u64>,
 }
 
 impl PhaseEngine {
@@ -143,7 +158,13 @@ impl PhaseEngine {
         Self {
             config,
             metrics: Metrics::new(),
+            dest_load: Vec::new(),
         }
+    }
+
+    /// Consumes the engine, returning the accumulated metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
     }
 
     /// The model configuration.
@@ -202,10 +223,12 @@ impl PhaseEngine {
 
         for (i, out) in outs.into_iter().enumerate() {
             let sender = NodeId::new(i);
-            // Per-destination aggregated unicast loads for this sender.
-            let mut dest_load = vec![0u64; n];
+            // Per-destination aggregated unicast loads for this sender
+            // (scratch reused across senders).
+            self.dest_load.clear();
+            self.dest_load.resize(n, 0);
 
-            if let Some(msg) = &out.broadcast {
+            if let Some(msg) = out.broadcast {
                 let len = msg.len() as u64;
                 match self.config.mode {
                     CommMode::Broadcast => {
@@ -218,15 +241,17 @@ impl PhaseEngine {
                         let receivers = self.config.topology.neighbors(sender, n);
                         total_bits += len * receivers.len() as u64;
                         for dst in receivers {
-                            dest_load[dst.index()] += len;
+                            self.dest_load[dst.index()] += len;
                         }
                     }
                 }
                 if len > 0 {
                     messages += 1;
                 }
+                // One shared allocation, a pointer clone per receiver.
+                let shared = Arc::new(msg);
                 for dst in self.config.topology.neighbors(sender, n) {
-                    inboxes[dst.index()].broadcasts[sender.index()] = Some(msg.clone());
+                    inboxes[dst.index()].broadcasts[sender.index()] = Some(Arc::clone(&shared));
                 }
             }
 
@@ -247,7 +272,7 @@ impl PhaseEngine {
                     });
                 }
                 let len = msg.len() as u64;
-                dest_load[dst.index()] += len;
+                self.dest_load[dst.index()] += len;
                 total_bits += len;
                 if len > 0 {
                     messages += 1;
@@ -260,7 +285,7 @@ impl PhaseEngine {
             }
 
             if self.config.mode == CommMode::Unicast {
-                if let Some(load) = dest_load.iter().copied().max() {
+                if let Some(load) = self.dest_load.iter().copied().max() {
                     max_load = max_load.max(load);
                 }
             }
@@ -268,11 +293,12 @@ impl PhaseEngine {
 
         let rounds = max_load.div_ceil(b);
         self.metrics.record_phase(PhaseRecord {
-            label: label.to_owned(),
+            label: label.to_owned().into(),
             rounds,
             bits: total_bits,
             messages,
             max_link_bits_per_round: max_load.min(b),
+            strict_rounds: false,
         });
         Ok(inboxes)
     }
@@ -309,11 +335,12 @@ impl PhaseEngine {
     /// black-box subroutine whose round cost is known analytically.
     pub fn charge_rounds(&mut self, label: &str, rounds: u64) {
         self.metrics.record_phase(PhaseRecord {
-            label: label.to_owned(),
+            label: label.to_owned().into(),
             rounds,
             bits: 0,
             messages: 0,
             max_link_bits_per_round: 0,
+            strict_rounds: false,
         });
     }
 

@@ -1,0 +1,234 @@
+//! The `Protocol` abstraction and the `Runner` that executes protocols on
+//! any model instance.
+//!
+//! The paper's results all share one shape — *run protocol `P` on model
+//! `CLIQUE-{BCAST,UCAST}(n, b)` and count rounds* — so the execution API
+//! mirrors it: a [`Protocol`] is the algorithm (model-independent), a
+//! [`CliqueConfig`] is the model, and [`Runner::execute`] pairs the two,
+//! returning the protocol's output together with the full communication
+//! ledger as a [`RunOutcome`]. [`Runner::sweep`] runs one protocol instance
+//! per configuration of an `(n, b)` grid (see
+//! [`CliqueConfigBuilder::grid`](crate::model::CliqueConfigBuilder::grid)).
+//!
+//! Closures `FnMut(&mut Session) -> Result<T, SimError>` implement
+//! [`Protocol`] directly, so one-off measurements need no struct.
+
+use crate::model::{CliqueConfig, SimError};
+use crate::outcome::RunOutcome;
+use crate::session::Session;
+
+/// A distributed algorithm that can run on any model instance.
+///
+/// Implementations read their input from `self`, drive all communication
+/// through the [`Session`] (phases, strict rounds, nested sub-protocols),
+/// and return their protocol-specific output; the caller gets the round and
+/// bit accounting from the session's ledger.
+///
+/// # Examples
+///
+/// ```
+/// use clique_sim::prelude::*;
+///
+/// /// Every node broadcasts one bit; the output is the OR of all inputs.
+/// struct BroadcastOr {
+///     inputs: Vec<bool>,
+/// }
+///
+/// impl Protocol for BroadcastOr {
+///     type Output = bool;
+///
+///     fn run(&mut self, session: &mut Session) -> Result<bool, SimError> {
+///         let msgs: Vec<BitString> = self
+///             .inputs
+///             .iter()
+///             .map(|&b| BitString::from_bits(u64::from(b), 1))
+///             .collect();
+///         let inboxes = session.broadcast_all("inputs", &msgs)?;
+///         Ok(self.inputs[0] || inboxes[0].broadcasts().any(|(_, m)| m.bit(0)))
+///     }
+/// }
+///
+/// # fn main() -> Result<(), SimError> {
+/// let config = CliqueConfig::builder().nodes(4).bandwidth(1).broadcast().build();
+/// let outcome = Runner::new(config).execute(&mut BroadcastOr {
+///     inputs: vec![false, false, true, false],
+/// })?;
+/// assert!(*outcome);
+/// assert_eq!(outcome.rounds(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Protocol {
+    /// The protocol-specific result (decision, reconstruction, …).
+    type Output;
+
+    /// Executes the protocol, charging all communication to `session`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the protocol violates the model rules or a
+    /// round limit.
+    fn run(&mut self, session: &mut Session) -> Result<Self::Output, SimError>;
+}
+
+/// Closures are protocols: `|session| { … }` runs directly.
+impl<T, F> Protocol for F
+where
+    F: FnMut(&mut Session) -> Result<T, SimError>,
+{
+    type Output = T;
+
+    fn run(&mut self, session: &mut Session) -> Result<T, SimError> {
+        self(session)
+    }
+}
+
+/// Executes [`Protocol`]s on a fixed model instance.
+///
+/// One `Runner` can execute any number of protocols; each execution gets a
+/// fresh [`Session`] (fresh ledger) over the runner's configuration.
+#[derive(Clone, Debug)]
+pub struct Runner {
+    config: CliqueConfig,
+}
+
+/// One point of a [`Runner::sweep`]: the configuration and the outcome of
+/// the protocol instance that ran on it.
+#[derive(Clone, Debug)]
+pub struct SweepPoint<T> {
+    /// The model instance of this grid point.
+    pub config: CliqueConfig,
+    /// The protocol outcome measured on it.
+    pub outcome: RunOutcome<T>,
+}
+
+impl Runner {
+    /// Creates a runner for the given model instance.
+    pub fn new(config: CliqueConfig) -> Self {
+        Self { config }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &CliqueConfig {
+        &self.config
+    }
+
+    /// Executes `protocol` on a fresh session, returning its output paired
+    /// with the run's metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the protocol's error; the failed run's ledger is dropped
+    /// with the session. To measure the cost of a run *up to* a failure,
+    /// execute the protocol via [`Session::run_nested`] on a session you
+    /// keep — it absorbs the partial metrics even on error.
+    pub fn execute<P: Protocol + ?Sized>(
+        &self,
+        protocol: &mut P,
+    ) -> Result<RunOutcome<P::Output>, SimError> {
+        let mut session = Session::new(self.config.clone());
+        let output = protocol.run(&mut session)?;
+        Ok(RunOutcome::new(output, session.into_metrics()))
+    }
+
+    /// Runs one protocol instance per configuration: `make` builds the
+    /// protocol for each grid point (so inputs can be sized to `config.n`),
+    /// then the instance executes on a fresh session.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and propagates the first failing point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clique_sim::prelude::*;
+    ///
+    /// # fn main() -> Result<(), SimError> {
+    /// // How many rounds does "everyone broadcasts n bits" take, per (n, b)?
+    /// let grid = CliqueConfig::builder().broadcast().grid(&[8, 16], &[1, 4]);
+    /// let points = Runner::sweep(grid, |config| {
+    ///     let n = config.n;
+    ///     move |session: &mut Session| {
+    ///         let rows: Vec<BitString> =
+    ///             (0..n).map(|_| BitString::from_bools(&vec![true; n])).collect();
+    ///         session.broadcast_all("rows", &rows)?;
+    ///         Ok(())
+    ///     }
+    /// })?;
+    /// assert_eq!(points.len(), 4);
+    /// assert_eq!(points[1].outcome.rounds(), 2); // n = 8, b = 4
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn sweep<P, F>(
+        configs: impl IntoIterator<Item = CliqueConfig>,
+        mut make: F,
+    ) -> Result<Vec<SweepPoint<P::Output>>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(&CliqueConfig) -> P,
+    {
+        let mut points = Vec::new();
+        for config in configs {
+            let mut protocol = make(&config);
+            let outcome = Runner::new(config.clone()).execute(&mut protocol)?;
+            points.push(SweepPoint { config, outcome });
+        }
+        Ok(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitString;
+
+    #[test]
+    fn execute_runs_closures_with_fresh_sessions() {
+        let runner = Runner::new(CliqueConfig::broadcast(2, 1));
+        for _ in 0..2 {
+            let outcome = runner
+                .execute(&mut |session: &mut Session| {
+                    session.charge_rounds("work", 3);
+                    Ok(7u8)
+                })
+                .unwrap();
+            assert_eq!(*outcome, 7);
+            // Each execution starts from a zeroed ledger.
+            assert_eq!(outcome.rounds(), 3);
+        }
+        assert_eq!(runner.config().n, 2);
+    }
+
+    #[test]
+    fn sweep_visits_every_grid_point() {
+        let grid = CliqueConfig::builder().broadcast().grid(&[2, 4], &[1, 2]);
+        let points = Runner::sweep(grid, |config| {
+            let n = config.n;
+            move |session: &mut Session| {
+                let msgs: Vec<BitString> =
+                    (0..n).map(|_| BitString::from_bools(&[true; 4])).collect();
+                session.broadcast_all("msgs", &msgs)?;
+                Ok(n)
+            }
+        })
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        // 4-bit messages: b = 1 -> 4 rounds, b = 2 -> 2 rounds.
+        assert_eq!(points[0].outcome.rounds(), 4);
+        assert_eq!(points[1].outcome.rounds(), 2);
+        assert_eq!(*points[3].outcome, 4);
+    }
+
+    #[test]
+    fn errors_propagate_from_execute() {
+        let runner = Runner::new(CliqueConfig::broadcast(2, 1));
+        let err = runner
+            .execute(&mut |_session: &mut Session| -> Result<(), SimError> {
+                Err(SimError::RoundLimitExceeded { limit: 1 })
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 1 });
+    }
+}

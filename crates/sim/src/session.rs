@@ -1,0 +1,386 @@
+//! The execution context handed to [`Protocol`] implementations.
+//!
+//! A [`Session`] is one protocol execution on one model instance: it owns
+//! the round/bit ledger and fronts *both* engines behind a single
+//! interface — bulk-synchronous phases (the [`PhaseEngine`] accounting:
+//! `⌈max link load / b⌉` rounds per phase) and strict round-by-round
+//! execution of [`NodeAlgorithm`]s (the [`RoundEngine`]). Sub-protocols run
+//! through [`Session::run_protocol`] (same ledger) or
+//! [`Session::run_nested`] (own ledger, absorbed into the parent), so a
+//! composed protocol gets one coherent metrics trail no matter how many
+//! engines it touched.
+
+use crate::bits::BitString;
+use crate::engine::RoundEngine;
+use crate::metrics::{Metrics, RunReport};
+use crate::model::{CliqueConfig, SimError};
+use crate::node::NodeAlgorithm;
+use crate::outcome::RunOutcome;
+use crate::phase::{PhaseEngine, PhaseInbox, PhaseOutbox};
+use crate::protocol::Protocol;
+
+/// One protocol execution on one model instance.
+///
+/// # Examples
+///
+/// ```
+/// use clique_sim::prelude::*;
+///
+/// # fn main() -> Result<(), clique_sim::model::SimError> {
+/// let config = CliqueConfig::builder().nodes(4).bandwidth(2).broadcast().build();
+/// let mut session = Session::new(config);
+/// let msgs: Vec<BitString> = (0..4).map(|i| BitString::from_bits(i, 6)).collect();
+/// let inboxes = session.broadcast_all("announce", &msgs)?;
+/// assert_eq!(session.rounds(), 3); // ceil(6 / 2)
+/// assert!(inboxes[0].broadcast_from(NodeId::new(3)).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session {
+    engine: PhaseEngine,
+}
+
+/// The result of driving [`NodeAlgorithm`]s to completion inside a session:
+/// the final node states plus the run report of the strict engine.
+#[derive(Debug)]
+pub struct NodeRun<A> {
+    /// The node algorithms after the run (e.g. to extract outputs).
+    pub nodes: Vec<A>,
+    /// Completion status and the metrics of the strict execution (already
+    /// absorbed into the session as well).
+    pub report: RunReport,
+}
+
+impl Session {
+    /// Opens a session on the given model.
+    pub fn new(config: CliqueConfig) -> Self {
+        Self {
+            engine: PhaseEngine::new(config),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &CliqueConfig {
+        self.engine.config()
+    }
+
+    /// Number of players.
+    pub fn n(&self) -> usize {
+        self.engine.config().n
+    }
+
+    /// Link bandwidth in bits per round.
+    pub fn bandwidth(&self) -> usize {
+        self.engine.config().bandwidth
+    }
+
+    /// Asserts the session runs on the complete clique topology — the
+    /// connectivity every clique protocol assumes. Call first in
+    /// [`Protocol::run`] of protocols that address arbitrary pairs or rely
+    /// on broadcasts reaching everyone; on a restricted CONGEST topology
+    /// such protocols would otherwise silently compute from partial views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not [`Topology::Clique`](crate::model::Topology).
+    pub fn require_clique(&self) {
+        assert!(
+            matches!(self.config().topology, crate::model::Topology::Clique),
+            "this protocol requires the complete clique topology, got {}",
+            self.config()
+        );
+    }
+
+    /// [`Self::require_clique`] plus a player-count check against the
+    /// protocol's input size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a clique or the session has a
+    /// different number of players than `n`.
+    pub fn require_clique_of(&self, n: usize) {
+        self.require_clique();
+        assert_eq!(
+            self.n(),
+            n,
+            "session has {} players, protocol input has {n}",
+            self.n()
+        );
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        self.engine.metrics()
+    }
+
+    /// Rounds charged so far.
+    pub fn rounds(&self) -> u64 {
+        self.engine.rounds()
+    }
+
+    /// Total bits charged so far.
+    pub fn total_bits(&self) -> u64 {
+        self.engine.total_bits()
+    }
+
+    /// Executes one bulk-synchronous phase; see [`PhaseEngine::exchange`]
+    /// for the exact accounting and error conditions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhaseEngine::exchange`] errors.
+    pub fn exchange(
+        &mut self,
+        label: &str,
+        outs: Vec<PhaseOutbox>,
+    ) -> Result<Vec<PhaseInbox>, SimError> {
+        self.engine.exchange(label, outs)
+    }
+
+    /// Convenience wrapper for a pure broadcast phase; see
+    /// [`PhaseEngine::broadcast_all`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhaseEngine::exchange`] errors.
+    pub fn broadcast_all(
+        &mut self,
+        label: &str,
+        messages: &[BitString],
+    ) -> Result<Vec<PhaseInbox>, SimError> {
+        self.engine.broadcast_all(label, messages)
+    }
+
+    /// Charges additional rounds without moving data (e.g. an analytically
+    /// accounted black-box subroutine).
+    pub fn charge_rounds(&mut self, label: &str, rounds: u64) {
+        self.engine.charge_rounds(label, rounds);
+    }
+
+    /// Merges the metrics of an externally executed sub-run into this
+    /// session.
+    pub fn absorb_metrics(&mut self, other: &Metrics) {
+        self.engine.absorb_metrics(other);
+    }
+
+    /// Closes the session, returning the accumulated metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.engine.into_metrics()
+    }
+
+    /// Runs a sub-protocol *on this session's ledger*: everything it
+    /// charges lands directly in this session's metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sub-protocol's error.
+    pub fn run_protocol<P: Protocol + ?Sized>(
+        &mut self,
+        protocol: &mut P,
+    ) -> Result<P::Output, SimError> {
+        protocol.run(self)
+    }
+
+    /// Runs a sub-protocol on a fresh ledger over the *same* model, then
+    /// absorbs its metrics into this session. Use this when the caller needs
+    /// the sub-run's own round/bit counts (e.g. per-attempt reporting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sub-protocol's error.
+    pub fn run_nested<P: Protocol + ?Sized>(
+        &mut self,
+        protocol: &mut P,
+    ) -> Result<RunOutcome<P::Output>, SimError> {
+        let config = self.config().clone();
+        self.run_nested_with(config, protocol)
+    }
+
+    /// Runs a sub-protocol on a fresh ledger over a *different* model (e.g.
+    /// a sub-clique or another bandwidth regime), then absorbs its metrics
+    /// into this session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sub-protocol's error. Rounds and bits the sub-run
+    /// charged before failing are still absorbed into this session (the
+    /// traffic happened), matching [`Self::run_nodes`].
+    pub fn run_nested_with<P: Protocol + ?Sized>(
+        &mut self,
+        config: CliqueConfig,
+        protocol: &mut P,
+    ) -> Result<RunOutcome<P::Output>, SimError> {
+        let mut sub = Session::new(config);
+        let result = protocol.run(&mut sub);
+        let metrics = sub.into_metrics();
+        self.absorb_metrics(&metrics);
+        Ok(RunOutcome::new(result?, metrics))
+    }
+
+    /// Runs one [`NodeAlgorithm`] instance per player on the strict
+    /// [`RoundEngine`] over this session's model, charging every round and
+    /// bit to this session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimitExceeded`] if the nodes do not halt in
+    /// time, or any model violation raised by the engine. Rounds executed
+    /// before the error are still charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the session's `n`.
+    pub fn run_nodes<A: NodeAlgorithm>(
+        &mut self,
+        nodes: Vec<A>,
+        max_rounds: u64,
+    ) -> Result<NodeRun<A>, SimError> {
+        let mut engine = RoundEngine::new(self.config().clone(), nodes);
+        let result = engine.run(max_rounds);
+        self.absorb_metrics(engine.metrics());
+        let report = result?;
+        Ok(NodeRun {
+            nodes: engine.into_nodes(),
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Inbox, NodeCtx, NodeId, Outbox};
+
+    #[test]
+    fn session_fronts_the_phase_engine() {
+        let mut session = Session::new(CliqueConfig::broadcast(3, 2));
+        let msgs = vec![
+            BitString::from_bits(0b101, 3),
+            BitString::new(),
+            BitString::new(),
+        ];
+        let inboxes = session.broadcast_all("announce", &msgs).unwrap();
+        assert_eq!(session.rounds(), 2);
+        assert_eq!(session.total_bits(), 3);
+        assert!(inboxes[1].broadcast_from(NodeId::new(0)).is_some());
+        session.charge_rounds("black box", 5);
+        assert_eq!(session.rounds(), 7);
+        assert_eq!(session.into_metrics().rounds, 7);
+    }
+
+    #[test]
+    fn nested_runs_absorb_into_the_parent() {
+        let mut parent = Session::new(CliqueConfig::broadcast(2, 1));
+        let sub = parent
+            .run_nested(&mut |session: &mut Session| {
+                session.charge_rounds("inner", 4);
+                Ok(17u32)
+            })
+            .unwrap();
+        assert_eq!(*sub, 17);
+        assert_eq!(sub.rounds(), 4);
+        assert_eq!(parent.rounds(), 4);
+
+        // A nested run on a different model still charges the parent.
+        let other = CliqueConfig::unicast(5, 3);
+        let sub = parent
+            .run_nested_with(other.clone(), &mut |session: &mut Session| {
+                assert_eq!(session.config(), &other);
+                session.charge_rounds("inner", 1);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(sub.rounds(), 1);
+        assert_eq!(parent.rounds(), 5);
+
+        // A failing nested run charges what it used before the error.
+        let err = parent
+            .run_nested(&mut |session: &mut Session| -> Result<(), SimError> {
+                session.charge_rounds("partial", 2);
+                Err(SimError::RoundLimitExceeded { limit: 9 })
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 9 });
+        assert_eq!(parent.rounds(), 7);
+    }
+
+    #[test]
+    fn require_clique_accepts_cliques() {
+        let session = Session::new(CliqueConfig::unicast(4, 2));
+        session.require_clique();
+        session.require_clique_of(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete clique topology")]
+    fn require_clique_rejects_graph_topologies() {
+        use crate::model::AdjacencyTopology;
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        let session = Session::new(CliqueConfig::congest(3, 2, adj));
+        session.require_clique();
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol input has 5")]
+    fn require_clique_of_rejects_size_mismatch() {
+        let session = Session::new(CliqueConfig::broadcast(4, 2));
+        session.require_clique_of(5);
+    }
+
+    /// Every node broadcasts its bit; afterwards everyone knows the OR.
+    struct OrNode {
+        input: bool,
+        result: Option<bool>,
+    }
+
+    impl NodeAlgorithm for OrNode {
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &Inbox, outbox: &mut Outbox) {
+            if ctx.round == 0 {
+                outbox.broadcast(BitString::from_bits(u64::from(self.input), 1));
+            } else {
+                let mut any = self.input;
+                for (_, msg) in inbox.iter() {
+                    any |= msg.bit(0);
+                }
+                self.result = Some(any);
+            }
+        }
+
+        fn halted(&self) -> bool {
+            self.result.is_some()
+        }
+    }
+
+    #[test]
+    fn run_nodes_charges_the_session() {
+        let mut session = Session::new(CliqueConfig::broadcast(4, 1));
+        let nodes = vec![false, true, false, false]
+            .into_iter()
+            .map(|input| OrNode {
+                input,
+                result: None,
+            })
+            .collect();
+        let run = session.run_nodes(nodes, 10).unwrap();
+        assert!(run.report.completed);
+        assert!(run.nodes.iter().all(|n| n.result == Some(true)));
+        assert_eq!(session.rounds(), run.report.rounds());
+        assert!(session.rounds() >= 2);
+    }
+
+    #[test]
+    fn run_nodes_round_limit_still_charges() {
+        #[derive(Debug)]
+        struct Chatter;
+        impl NodeAlgorithm for Chatter {
+            fn round(&mut self, _: &NodeCtx<'_>, _: &Inbox, outbox: &mut Outbox) {
+                outbox.broadcast(BitString::from_bits(1, 1));
+            }
+        }
+        let mut session = Session::new(CliqueConfig::broadcast(2, 1));
+        let err = session.run_nodes(vec![Chatter, Chatter], 3).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 3 });
+        assert_eq!(session.rounds(), 3);
+    }
+}

@@ -9,7 +9,7 @@
 //! * [`field`] — prime-field arithmetic (`F_p`, `p > n`),
 //! * [`sketch`] — linear power-sum sketches of vertex sets with exact
 //!   decoding via Newton's identities and locator-polynomial root finding,
-//! * [`reconstruct`] — the encode/peel-decode pair implementing algorithm
+//! * [`mod@reconstruct`] — the encode/peel-decode pair implementing algorithm
 //!   `A(G, k)` of Section 3.1, including detection of the failure case
 //!   "degeneracy larger than `k`".
 //!

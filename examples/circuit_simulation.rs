@@ -49,8 +49,8 @@ fn main() -> Result<(), SimError> {
             sim.depth,
             circuit.wire_count(),
             bandwidth,
-            sim.rounds,
-            sim.rounds as f64 / (sim.depth as f64 + 2.0),
+            sim.rounds(),
+            sim.rounds() as f64 / (sim.depth as f64 + 2.0),
             sim.outputs == expected,
         );
     }

@@ -1,4 +1,6 @@
-//! Quickstart: simulate the congested clique and detect a triangle.
+//! Quickstart: run triangle-detection protocols through the
+//! `Protocol`/`Session`/`Runner` API and sweep one of them over a
+//! bandwidth grid.
 //!
 //! Run with:
 //!
@@ -6,9 +8,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use congested_clique::graphs::{generators, iso};
-use congested_clique::sim::SimError;
-use congested_clique::triangle::{detect_triangle_dlp, detect_triangle_trivial};
+use congested_clique::graphs::{generators, iso, Pattern};
+use congested_clique::sim::prelude::*;
+use congested_clique::triangle::{detect_triangle_trivial, DlpTriangleDetection};
+use congested_clique::trivial::FullBroadcastDetection;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -28,29 +31,58 @@ fn main() -> Result<(), SimError> {
     println!("ground truth: has_triangle = {}", iso::has_triangle(&graph));
     println!();
 
-    // The trivial protocol: every node broadcasts its adjacency row.
+    // The trivial protocol: every node broadcasts its adjacency row. The
+    // free function picks the canonical model, CLIQUE-BCAST(n, b).
     let trivial = detect_triangle_trivial(&graph, bandwidth)?;
     println!(
         "trivial broadcast   : contains = {:5}, rounds = {:3}, blackboard bits = {}",
-        trivial.contains, trivial.rounds, trivial.total_bits
+        trivial.contains,
+        trivial.rounds(),
+        trivial.total_bits()
     );
 
-    // The Dolev–Lenzen–Peled-style deterministic protocol: group triples +
-    // balanced routing, Õ(n^{1/3}/b) rounds.
-    let dlp = detect_triangle_dlp(&graph, bandwidth)?;
+    // The same protocols are plain `Protocol` values: pick any model with
+    // the config builder and execute them through a `Runner`. Here: the
+    // Dolev–Lenzen–Peled-style deterministic protocol (group triples +
+    // balanced routing, Õ(n^{1/3}/b) rounds) on CLIQUE-UCAST(n, b).
+    let config = CliqueConfig::builder()
+        .nodes(n)
+        .bandwidth(bandwidth)
+        .unicast()
+        .build();
+    let dlp = Runner::new(config).execute(&mut DlpTriangleDetection::new(&graph))?;
     println!(
         "DLP (deterministic) : contains = {:5}, rounds = {:3}, network bits   = {}",
-        dlp.contains, dlp.rounds, dlp.total_bits
+        dlp.contains,
+        dlp.rounds(),
+        dlp.total_bits()
     );
     if let Some(witness) = &dlp.witness {
         println!("                      witness triangle: {witness:?}");
+    }
+
+    // Sweeps are one call: the same detection protocol across a bandwidth
+    // grid, each point on a fresh session.
+    println!();
+    println!("bandwidth sweep of the trivial protocol (rounds = ⌈n/b⌉):");
+    let pattern = Pattern::Clique(3);
+    let grid = CliqueConfig::builder()
+        .broadcast()
+        .grid(&[n], &[1, 2, 4, 8, 16]);
+    let points = Runner::sweep(grid, |_| FullBroadcastDetection::new(&graph, &pattern))?;
+    for point in &points {
+        println!(
+            "  {:>26} : rounds = {:3}",
+            point.config.to_string(),
+            point.outcome.rounds()
+        );
     }
 
     println!();
     println!(
         "round ratio trivial/DLP at this size: {:.1} (DLP scales as Õ(n^(1/3)/b), so it overtakes \
          the trivial ⌈n/b⌉ protocol as n grows; see EXPERIMENTS.md, E3)",
-        trivial.rounds as f64 / dlp.rounds.max(1) as f64
+        trivial.rounds() as f64 / dlp.rounds().max(1) as f64
     );
     Ok(())
 }

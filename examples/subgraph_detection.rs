@@ -48,18 +48,20 @@ fn main() -> Result<(), SimError> {
         let trivial = detect_by_full_broadcast(graph, &pattern, bandwidth)?;
         println!(
             "  trivial broadcast      : contains = {:5}, rounds = {}",
-            trivial.contains, trivial.rounds
+            trivial.contains,
+            trivial.rounds()
         );
         let turan = detect_subgraph_turan(graph, &pattern, bandwidth)?;
         println!(
             "  Theorem 7 (known ex)   : contains = {:5}, rounds = {}",
-            turan.contains, turan.rounds
+            turan.contains,
+            turan.rounds()
         );
         let adaptive = detect_subgraph_adaptive(graph, &pattern, bandwidth, &mut rng)?;
         println!(
             "  Theorem 9 (adaptive)   : contains = {:5}, rounds = {}, reconstruction attempts = {}",
             adaptive.outcome.contains,
-            adaptive.outcome.rounds,
+            adaptive.rounds(),
             adaptive.attempts.len()
         );
         if let Some(witness) = &adaptive.outcome.witness {

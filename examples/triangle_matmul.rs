@@ -50,12 +50,14 @@ fn main() -> Result<(), SimError> {
         let trivial = detect_triangle_trivial(&graph, bandwidth)?;
         println!(
             "  trivial broadcast      : contains = {:5}, rounds = {:4}",
-            trivial.contains, trivial.rounds
+            trivial.contains,
+            trivial.rounds()
         );
         let dlp = detect_triangle_dlp(&graph, bandwidth)?;
         println!(
             "  DLP (deterministic)    : contains = {:5}, rounds = {:4}",
-            dlp.contains, dlp.rounds
+            dlp.contains,
+            dlp.rounds()
         );
         for strategy in [MatMulStrategy::Naive, MatMulStrategy::Strassen] {
             let out = detect_triangle_via_matmul(&graph, bandwidth, strategy, 3, &mut rng)?;
@@ -63,7 +65,7 @@ fn main() -> Result<(), SimError> {
                 "  {:<22} : contains = {:5}, rounds = {:4} (Theorem 2 simulation of the F2 product)",
                 strategy.name(),
                 out.contains,
-                out.rounds
+                out.rounds()
             );
         }
         println!();

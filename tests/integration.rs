@@ -84,8 +84,8 @@ fn theorem7_round_counts_scale_sublinearly_for_bipartite_patterns() {
     let trivial_large =
         detect_by_full_broadcast(&extremal::dense_c4_free(large_n), &Pattern::Cycle(4), b).unwrap();
     assert!(!smart_small.contains && !smart_large.contains);
-    let smart_growth = smart_large.rounds as f64 / smart_small.rounds as f64;
-    let trivial_growth = trivial_large.rounds as f64 / trivial_small.rounds as f64;
+    let smart_growth = smart_large.rounds() as f64 / smart_small.rounds() as f64;
+    let trivial_growth = trivial_large.rounds() as f64 / trivial_small.rounds() as f64;
     assert!(
         smart_growth < 3.0 && trivial_growth > 3.5,
         "growth factors: Theorem 7 {smart_growth:.2} (expected ≈ 2), trivial {trivial_growth:.2} (expected ≈ 4)"
@@ -99,10 +99,10 @@ fn theorem7_round_counts_scale_sublinearly_for_bipartite_patterns() {
     let trivial_tree = detect_by_full_broadcast(&dense, &Pattern::Path(4), b).unwrap();
     assert!(tree.contains && trivial_tree.contains);
     assert!(
-        tree.rounds * 4 < trivial_tree.rounds,
+        tree.rounds() * 4 < trivial_tree.rounds(),
         "tree detection: {} vs {} rounds",
-        tree.rounds,
-        trivial_tree.rounds
+        tree.rounds(),
+        trivial_tree.rounds()
     );
 }
 
@@ -126,7 +126,7 @@ fn circuit_simulation_matches_direct_evaluation_across_gate_families() {
         let bandwidth = circuit.wire_density(n) + circuit.max_separability_bits() + 4;
         let sim = simulate_circuit(&circuit, &input, n, bandwidth, InputPartition::Blocks).unwrap();
         assert_eq!(sim.outputs, circuit.evaluate(&input));
-        assert!(sim.rounds <= 6 * (sim.depth as u64 + 2));
+        assert!(sim.rounds() <= 6 * (sim.depth as u64 + 2));
     }
 }
 

@@ -140,7 +140,7 @@ proptest! {
         let g = seeded_graph(n, p, seed);
         let outcome = detect_triangle_dlp(&g, 4).expect("protocol failed");
         prop_assert_eq!(outcome.contains, iso::has_triangle(&g));
-        if let Some(w) = outcome.witness {
+        if let Some(w) = &outcome.witness {
             prop_assert!(g.has_edge(w[0], w[1]) && g.has_edge(w[1], w[2]) && g.has_edge(w[0], w[2]));
         }
     }
@@ -162,11 +162,136 @@ proptest! {
 
     #[test]
     fn phase_engine_round_accounting_matches_ceiling(msg_bits in 0usize..200, b in 1usize..32, n in 2usize..10) {
-        let mut engine = PhaseEngine::new(CliqueConfig::broadcast(n, b));
+        let mut session = Session::new(CliqueConfig::builder().nodes(n).bandwidth(b).broadcast().build());
         let messages: Vec<BitString> = (0..n)
             .map(|i| if i == 0 { BitString::from_bools(&vec![true; msg_bits]) } else { BitString::new() })
             .collect();
-        engine.broadcast_all("one long message", &messages).unwrap();
-        prop_assert_eq!(engine.rounds(), (msg_bits as u64).div_ceil(b as u64));
+        session.broadcast_all("one long message", &messages).unwrap();
+        prop_assert_eq!(session.rounds(), (msg_bits as u64).div_ceil(b as u64));
+    }
+
+    #[test]
+    fn phase_charge_equals_chunked_round_execution(n in 2usize..7, b in 1usize..6, seed in 0u64..500) {
+        // The phase engine's `⌈max link load / b⌉` charge must equal the
+        // number of rounds a bit-strict chunked execution of the same phase
+        // takes on the round engine, and the payload bits must agree, for
+        // random mixed broadcast/unicast phases in both modes.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for mode in [CommMode::Unicast, CommMode::Broadcast] {
+            let cfg = CliqueConfig::builder().nodes(n).bandwidth(b).mode(mode).build();
+
+            // Random phase: every node may broadcast, and (in unicast mode)
+            // may send a few unicasts; repeated sends to one destination are
+            // legal and concatenate.
+            let mut outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
+            let mut queues: Vec<Vec<BitString>> = (0..n).map(|_| vec![BitString::new(); n]).collect();
+            for (src, out) in outs.iter_mut().enumerate() {
+                if rng.gen_bool(0.7) {
+                    let len = rng.gen_range(0..24);
+                    let payload: BitString = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+                    if !payload.is_empty() {
+                        out.broadcast(payload.clone());
+                        // A broadcast occupies every outgoing link in the
+                        // unicast model, and the blackboard (queue slot
+                        // `src`) in the broadcast model.
+                        match mode {
+                            CommMode::Unicast => {
+                                for (dst, queue) in queues[src].iter_mut().enumerate() {
+                                    if dst != src {
+                                        queue.extend_from(&payload);
+                                    }
+                                }
+                            }
+                            CommMode::Broadcast => queues[src][src].extend_from(&payload),
+                        }
+                    }
+                }
+                if mode == CommMode::Unicast {
+                    for _ in 0..rng.gen_range(0..4) {
+                        let dst = rng.gen_range(0..n);
+                        if dst == src {
+                            continue;
+                        }
+                        let len = rng.gen_range(0..24);
+                        let payload: BitString = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+                        out.send(NodeId::new(dst), payload.clone());
+                        queues[src][dst].extend_from(&payload);
+                    }
+                }
+            }
+
+            // Phase-engine charge.
+            let mut engine = PhaseEngine::new(cfg.clone());
+            engine.exchange("mixed phase", outs).unwrap();
+
+            // Bit-strict chunked replay of the same link loads.
+            let nodes: Vec<ChunkedSender> = queues
+                .into_iter()
+                .map(|per_dst| ChunkedSender::new(per_dst, mode))
+                .collect();
+            let mut strict = RoundEngine::new(cfg, nodes);
+            let mut rounds = 0u64;
+            while strict.nodes().iter().any(ChunkedSender::pending) {
+                strict.step().unwrap();
+                rounds += 1;
+            }
+            prop_assert_eq!(rounds, engine.rounds(), "mode {}", mode);
+            prop_assert_eq!(strict.metrics().total_bits, engine.total_bits(), "mode {}", mode);
+        }
+    }
+}
+
+/// Replays precomputed per-link loads in `b`-bit chunks on the strict
+/// engine: one chunk per busy link per round, exactly as the phase engine's
+/// `⌈max link load / b⌉` accounting assumes.
+struct ChunkedSender {
+    /// Per-destination queues with read cursors. In broadcast mode the
+    /// node's own slot holds the blackboard queue.
+    queues: Vec<(BitString, usize)>,
+    mode: CommMode,
+}
+
+impl ChunkedSender {
+    fn new(per_dst: Vec<BitString>, mode: CommMode) -> Self {
+        Self {
+            queues: per_dst.into_iter().map(|q| (q, 0)).collect(),
+            mode,
+        }
+    }
+
+    fn pending(&self) -> bool {
+        self.queues.iter().any(|(q, pos)| *pos < q.len())
+    }
+
+    fn chunk(queue: &BitString, pos: &mut usize, b: usize) -> BitString {
+        let take = b.min(queue.len() - *pos);
+        let mut chunk = BitString::with_capacity(take);
+        for i in 0..take {
+            chunk.push_bit(queue.bit(*pos + i));
+        }
+        *pos += take;
+        chunk
+    }
+}
+
+impl NodeAlgorithm for ChunkedSender {
+    fn round(&mut self, ctx: &NodeCtx<'_>, _inbox: &Inbox, outbox: &mut Outbox) {
+        let b = ctx.bandwidth();
+        match self.mode {
+            CommMode::Unicast => {
+                for (dst, (queue, pos)) in self.queues.iter_mut().enumerate() {
+                    if *pos < queue.len() {
+                        outbox.send(NodeId::new(dst), Self::chunk(queue, pos, b));
+                    }
+                }
+            }
+            CommMode::Broadcast => {
+                let me = ctx.id.index();
+                let (queue, pos) = &mut self.queues[me];
+                if *pos < queue.len() {
+                    outbox.broadcast(Self::chunk(queue, pos, b));
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,264 @@
+//! Regression tests for the `Protocol`/`Runner` migration: every migrated
+//! entry point must report exactly the round and bit counts the
+//! pre-redesign implementation produced on the same fixed inputs.
+//!
+//! The pinned constants were captured by running the pre-redesign code
+//! (commit `ac339b6`) on the inputs below. A change in any of these values
+//! means the redesign changed the *accounting semantics*, not just the API,
+//! and must be investigated.
+
+use congested_clique::adaptive::detect_subgraph_adaptive;
+use congested_clique::circuits::builders;
+use congested_clique::graphs::{extremal, generators, Graph, Pattern};
+use congested_clique::routing::{
+    BalancedRouter, DirectRouter, RouteProtocol, RoutingDemand, ValiantRouter,
+};
+use congested_clique::sim::prelude::*;
+use congested_clique::subgraph::{run_reconstruction_protocol, SketchReconstruction};
+use congested_clique::triangle::{
+    detect_triangle_dlp, detect_triangle_trivial, detect_triangle_via_matmul, DlpTriangleDetection,
+    MatMulStrategy,
+};
+use congested_clique::trivial::{
+    detect_by_full_broadcast, detect_by_gather_to_leader, FullBroadcastDetection,
+    GatherToLeaderDetection,
+};
+use congested_clique::{simulate_circuit, CircuitSimulation, InputPartition, TuranSketchDetection};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The fixed 24-node instance every detection regression runs on.
+fn g24() -> Graph {
+    let mut r = ChaCha8Rng::seed_from_u64(0x5EED);
+    generators::erdos_renyi(24, 0.15, &mut r)
+}
+
+#[test]
+fn full_broadcast_matches_pre_redesign_counts() {
+    let g = g24();
+    let pattern = Pattern::Clique(3);
+    let outcome = detect_by_full_broadcast(&g, &pattern, 4).unwrap();
+    assert_eq!(
+        (outcome.contains, outcome.rounds(), outcome.total_bits()),
+        (true, 6, 576)
+    );
+    // The explicit Runner route reports identical numbers.
+    let config = CliqueConfig::builder()
+        .nodes(24)
+        .bandwidth(4)
+        .broadcast()
+        .build();
+    let direct = Runner::new(config)
+        .execute(&mut FullBroadcastDetection::new(&g, &pattern))
+        .unwrap();
+    assert_eq!((direct.rounds(), direct.total_bits()), (6, 576));
+}
+
+#[test]
+fn gather_to_leader_matches_pre_redesign_counts() {
+    let g = g24();
+    let pattern = Pattern::Clique(3);
+    let outcome = detect_by_gather_to_leader(&g, &pattern, 4).unwrap();
+    assert_eq!(
+        (outcome.contains, outcome.rounds(), outcome.total_bits()),
+        (true, 6, 552)
+    );
+    let config = CliqueConfig::builder()
+        .nodes(24)
+        .bandwidth(4)
+        .unicast()
+        .build();
+    let direct = Runner::new(config)
+        .execute(&mut GatherToLeaderDetection::new(&g, &pattern))
+        .unwrap();
+    assert_eq!((direct.rounds(), direct.total_bits()), (6, 552));
+}
+
+#[test]
+fn turan_sketch_detection_matches_pre_redesign_counts() {
+    let c4_free = extremal::dense_c4_free(31);
+    let pattern = Pattern::Cycle(4);
+    let outcome = congested_clique::detect_subgraph_turan(&c4_free, &pattern, 8).unwrap();
+    assert_eq!(
+        (outcome.contains, outcome.rounds(), outcome.total_bits()),
+        (false, 18, 4433)
+    );
+
+    let g = g24();
+    let outcome = congested_clique::detect_subgraph_turan(&g, &pattern, 4).unwrap();
+    assert_eq!(
+        (outcome.contains, outcome.rounds(), outcome.total_bits()),
+        (true, 27, 2520)
+    );
+    // Through an explicit Runner as well.
+    let config = CliqueConfig::builder()
+        .nodes(24)
+        .bandwidth(4)
+        .broadcast()
+        .build();
+    let direct = Runner::new(config)
+        .execute(&mut TuranSketchDetection::new(&g, &pattern))
+        .unwrap();
+    assert_eq!((direct.rounds(), direct.total_bits()), (27, 2520));
+}
+
+#[test]
+fn sketch_reconstruction_matches_pre_redesign_counts() {
+    let g = generators::cycle(40);
+    let run = run_reconstruction_protocol(&g, 2, 4).unwrap();
+    assert!(run.success());
+    assert_eq!((run.rounds(), run.total_bits()), (5, 720));
+
+    let config = CliqueConfig::builder()
+        .nodes(40)
+        .bandwidth(4)
+        .broadcast()
+        .build();
+    let direct = Runner::new(config)
+        .execute(&mut SketchReconstruction::new(&g, 2))
+        .unwrap();
+    assert!(direct.success());
+    assert_eq!((direct.rounds(), direct.total_bits()), (5, 720));
+}
+
+#[test]
+fn adaptive_detection_matches_pre_redesign_counts() {
+    let g = g24();
+    let mut r = ChaCha8Rng::seed_from_u64(0xADA);
+    let run = detect_subgraph_adaptive(&g, &Pattern::Cycle(4), 4, &mut r).unwrap();
+    assert_eq!(
+        (
+            run.outcome.contains,
+            run.rounds(),
+            run.total_bits(),
+            run.attempts.len()
+        ),
+        (true, 13, 1176, 3)
+    );
+}
+
+#[test]
+fn trivial_triangle_detection_matches_pre_redesign_counts() {
+    let g = g24();
+    let outcome = detect_triangle_trivial(&g, 4).unwrap();
+    assert_eq!(
+        (outcome.contains, outcome.rounds(), outcome.total_bits()),
+        (true, 6, 576)
+    );
+}
+
+#[test]
+fn dlp_triangle_detection_matches_pre_redesign_counts() {
+    let g = g24();
+    let outcome = detect_triangle_dlp(&g, 4).unwrap();
+    assert_eq!(
+        (outcome.contains, outcome.rounds(), outcome.total_bits()),
+        (true, 15, 10532)
+    );
+    let config = CliqueConfig::builder()
+        .nodes(24)
+        .bandwidth(4)
+        .unicast()
+        .build();
+    let direct = Runner::new(config)
+        .execute(&mut DlpTriangleDetection::new(&g))
+        .unwrap();
+    assert_eq!((direct.rounds(), direct.total_bits()), (15, 10532));
+}
+
+#[test]
+fn matmul_triangle_detection_matches_pre_redesign_counts() {
+    let g = g24();
+    let mut r = ChaCha8Rng::seed_from_u64(0xB0);
+    let naive = detect_triangle_via_matmul(&g, 8, MatMulStrategy::Naive, 3, &mut r).unwrap();
+    assert_eq!(
+        (naive.contains, naive.rounds(), naive.total_bits()),
+        (true, 33, 32865)
+    );
+
+    let mut r = ChaCha8Rng::seed_from_u64(0xB1);
+    let strassen = detect_triangle_via_matmul(&g, 8, MatMulStrategy::Strassen, 2, &mut r).unwrap();
+    assert_eq!(
+        (strassen.contains, strassen.rounds(), strassen.total_bits()),
+        (true, 111, 363449)
+    );
+}
+
+#[test]
+fn circuit_simulation_matches_pre_redesign_counts() {
+    let circuit = builders::parity_tree(36, 3);
+    let mut r = ChaCha8Rng::seed_from_u64(0xC1);
+    let input: Vec<bool> = (0..36).map(|_| r.gen_bool(0.5)).collect();
+    let sim = simulate_circuit(&circuit, &input, 6, 4, InputPartition::RoundRobin).unwrap();
+    assert_eq!(
+        (sim.rounds(), sim.total_bits(), sim.max_phase_rounds()),
+        (8, 66, 1)
+    );
+    assert_eq!(sim.outputs, vec![true]);
+    // Through an explicit Runner as well.
+    let config = CliqueConfig::builder()
+        .nodes(6)
+        .bandwidth(4)
+        .unicast()
+        .build();
+    let direct = Runner::new(config)
+        .execute(&mut CircuitSimulation::new(
+            &circuit,
+            &input,
+            InputPartition::RoundRobin,
+        ))
+        .unwrap();
+    assert_eq!((direct.rounds(), direct.total_bits()), (8, 66));
+
+    let circuit = builders::majority(25);
+    let mut r = ChaCha8Rng::seed_from_u64(0xC2);
+    let input: Vec<bool> = (0..25).map(|_| r.gen_bool(0.5)).collect();
+    let sim = simulate_circuit(&circuit, &input, 5, 6, InputPartition::Blocks).unwrap();
+    assert_eq!(
+        (sim.rounds(), sim.total_bits(), sim.max_phase_rounds()),
+        (2, 40, 1)
+    );
+    assert_eq!(sim.outputs, vec![false]);
+}
+
+/// The fixed concentrated demand the router regressions run on.
+fn concentrated_demand() -> RoutingDemand {
+    let mut demand = RoutingDemand::new(16);
+    for i in 0..16usize {
+        if i != 1 {
+            demand.send(0, 1, BitString::from_bits(i as u64 % 16, 8));
+        }
+    }
+    demand
+}
+
+#[test]
+fn routers_match_pre_redesign_counts() {
+    let demand = concentrated_demand();
+    let runner = Runner::new(
+        CliqueConfig::builder()
+            .nodes(16)
+            .bandwidth(8)
+            .unicast()
+            .build(),
+    );
+
+    let direct = runner
+        .execute(&mut RouteProtocol::new(DirectRouter, &demand))
+        .unwrap();
+    assert_eq!((direct.rounds(), direct.total_bits()), (23, 180));
+
+    let balanced = runner
+        .execute(&mut RouteProtocol::new(BalancedRouter, &demand))
+        .unwrap();
+    assert_eq!((balanced.rounds(), balanced.total_bits()), (4, 448));
+
+    let valiant = runner
+        .execute(&mut RouteProtocol::new(
+            ValiantRouter::new(ChaCha8Rng::seed_from_u64(7)),
+            &demand,
+        ))
+        .unwrap();
+    assert_eq!((valiant.rounds(), valiant.total_bits()), (8, 432));
+}
