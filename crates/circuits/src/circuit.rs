@@ -235,6 +235,20 @@ impl Circuit {
     ///
     /// Panics if `assignment.len()` differs from the number of inputs.
     pub fn evaluate_all(&self, assignment: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; self.gates.len()];
+        self.evaluate_all_into(assignment, &mut values);
+        values
+    }
+
+    /// Evaluates every gate into the caller-provided scratch buffer, so
+    /// repeated evaluations allocate nothing: the buffer is resized once and
+    /// the per-gate input values are streamed straight out of it (no
+    /// per-gate `Vec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the number of inputs.
+    pub fn evaluate_all_into(&self, assignment: &[bool], values: &mut Vec<bool>) {
         assert_eq!(
             assignment.len(),
             self.inputs.len(),
@@ -242,23 +256,22 @@ impl Circuit {
             self.inputs.len(),
             assignment.len()
         );
-        let mut values = vec![false; self.gates.len()];
+        values.clear();
+        values.resize(self.gates.len(), false);
         let mut next_input = 0usize;
-        for (i, gate) in self.gates.iter().enumerate() {
+        for i in 0..self.gates.len() {
+            let gate = &self.gates[i];
             values[i] = match gate.kind {
                 GateKind::Input => {
                     let v = assignment[next_input];
                     next_input += 1;
                     v
                 }
-                _ => {
-                    let in_values: Vec<bool> =
-                        gate.inputs.iter().map(|id| values[id.index()]).collect();
-                    gate.kind.eval(&in_values)
-                }
+                _ => gate
+                    .kind
+                    .eval_iter(gate.inputs.iter().map(|id| values[id.index()])),
             };
         }
-        values
     }
 
     /// Evaluates the circuit and returns the output values in output order.
@@ -269,6 +282,107 @@ impl Circuit {
     pub fn evaluate(&self, assignment: &[bool]) -> Vec<bool> {
         let values = self.evaluate_all(assignment);
         self.outputs.iter().map(|id| values[id.index()]).collect()
+    }
+
+    /// Evaluates the circuit on many assignments at once, bit-sliced: each
+    /// gate holds one `u64` lane with one bit per assignment, so every pass
+    /// over the gate list evaluates up to 64 independent assignments.
+    /// Word-parallel gates (`AND`/`OR`/`XOR`/`NOT`/constants — see
+    /// [`GateKind::is_word_parallel`]) cost one word operation per input;
+    /// counting gates fall back to per-assignment evaluation within the
+    /// slice.
+    ///
+    /// Returns one output vector (in output order) per assignment, equal to
+    /// what [`Self::evaluate`] returns on that assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment's length differs from the number of inputs.
+    pub fn evaluate_batch(&self, assignments: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let mut results = Vec::with_capacity(assignments.len());
+        let mut lanes = vec![0u64; self.gates.len()];
+        for chunk in assignments.chunks(64) {
+            for assignment in chunk {
+                assert_eq!(
+                    assignment.len(),
+                    self.inputs.len(),
+                    "expected {} input bits, got {}",
+                    self.inputs.len(),
+                    assignment.len()
+                );
+            }
+            self.evaluate_slice(chunk, &mut lanes);
+            for (k, _) in chunk.iter().enumerate() {
+                results.push(
+                    self.outputs
+                        .iter()
+                        .map(|id| (lanes[id.index()] >> k) & 1 == 1)
+                        .collect(),
+                );
+            }
+        }
+        results
+    }
+
+    /// One bit-sliced pass: evaluates up to 64 assignments, leaving the
+    /// value of gate `g` on assignment `k` in bit `k` of `lanes[g]`.
+    fn evaluate_slice(&self, chunk: &[Vec<bool>], lanes: &mut [u64]) {
+        debug_assert!(chunk.len() <= 64);
+        let active: u64 = if chunk.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        let mut next_input = 0usize;
+        for i in 0..self.gates.len() {
+            let gate = &self.gates[i];
+            lanes[i] = match &gate.kind {
+                GateKind::Input => {
+                    let t = next_input;
+                    next_input += 1;
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (k, a)| acc | (u64::from(a[t]) << k))
+                }
+                GateKind::Const(value) => {
+                    if *value {
+                        active
+                    } else {
+                        0
+                    }
+                }
+                GateKind::And => gate
+                    .inputs
+                    .iter()
+                    .fold(active, |acc, id| acc & lanes[id.index()]),
+                GateKind::Or => gate
+                    .inputs
+                    .iter()
+                    .fold(0u64, |acc, id| acc | lanes[id.index()]),
+                GateKind::Not => {
+                    assert_eq!(gate.inputs.len(), 1, "NOT gate takes exactly one input");
+                    !lanes[gate.inputs[0].index()] & active
+                }
+                GateKind::Xor => gate
+                    .inputs
+                    .iter()
+                    .fold(0u64, |acc, id| acc ^ lanes[id.index()]),
+                kind => {
+                    // Counting gates: evaluate each active lane separately.
+                    let mut word = 0u64;
+                    for k in 0..chunk.len() {
+                        let value = kind.eval_iter(
+                            gate.inputs
+                                .iter()
+                                .map(|id| (lanes[id.index()] >> k) & 1 == 1),
+                        );
+                        word |= u64::from(value) << k;
+                    }
+                    word
+                }
+            };
+        }
     }
 }
 
@@ -380,6 +494,56 @@ mod tests {
     fn wrong_assignment_length_panics() {
         let c = xor3_circuit();
         let _ = c.evaluate(&[true]);
+    }
+
+    #[test]
+    fn evaluate_batch_matches_sequential_evaluate() {
+        // Mix word-parallel and counting gates so both batch paths run.
+        let mut c = Circuit::new();
+        let xs = c.add_inputs(6);
+        let and = c.add_gate(GateKind::And, &[xs[0], xs[1], xs[2]]);
+        let xor = c.add_gate(GateKind::Xor, &[xs[3], xs[4], and]);
+        let not = c.add_gate(GateKind::Not, &[xor]);
+        let maj = c.add_gate(GateKind::Majority, &[xs[0], xs[5], not]);
+        let thr = c.add_gate(GateKind::Threshold(2), &[and, xor, maj]);
+        let t = c.add_gate(GateKind::Const(true), &[]);
+        let out = c.add_gate(GateKind::Or, &[thr, t, xs[5]]);
+        c.mark_output(maj);
+        c.mark_output(out);
+
+        // More than one 64-lane slice, including a partial final slice.
+        let assignments: Vec<Vec<bool>> = (0..130u32)
+            .map(|k| (0..6).map(|i| (k * 37 + 11) >> i & 1 == 1).collect())
+            .collect();
+        let batch = c.evaluate_batch(&assignments);
+        assert_eq!(batch.len(), assignments.len());
+        for (k, assignment) in assignments.iter().enumerate() {
+            assert_eq!(batch[k], c.evaluate(assignment), "lane {k}");
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_on_empty_input_sets() {
+        let c = xor3_circuit();
+        assert!(c.evaluate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 input bits")]
+    fn evaluate_batch_rejects_wrong_assignment_length() {
+        let c = xor3_circuit();
+        let _ = c.evaluate_batch(&[vec![true; 2]]);
+    }
+
+    #[test]
+    fn evaluate_all_into_reuses_the_buffer() {
+        let c = xor3_circuit();
+        let mut scratch = Vec::new();
+        c.evaluate_all_into(&[true, false, false], &mut scratch);
+        let first = scratch.clone();
+        assert_eq!(first, c.evaluate_all(&[true, false, false]));
+        c.evaluate_all_into(&[true, true, true], &mut scratch);
+        assert_eq!(scratch, c.evaluate_all(&[true, true, true]));
     }
 
     #[test]

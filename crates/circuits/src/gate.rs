@@ -55,37 +55,73 @@ impl GateKind {
     /// per weight, `Input` takes none, `Mod(0)` is rejected at construction
     /// sites via [`Self::validate_fan_in`]).
     pub fn eval(&self, inputs: &[bool]) -> bool {
+        self.eval_iter(inputs.iter().copied())
+    }
+
+    /// Evaluates the gate on a stream of ordered input values without
+    /// materialising them into a slice (the allocation-free path used by
+    /// [`crate::Circuit::evaluate_all`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::eval`].
+    pub fn eval_iter(&self, mut inputs: impl Iterator<Item = bool>) -> bool {
         match self {
             GateKind::Input => panic!("input gates are evaluated by assignment, not eval()"),
             GateKind::Const(value) => *value,
-            GateKind::And => inputs.iter().all(|&x| x),
-            GateKind::Or => inputs.iter().any(|&x| x),
+            GateKind::And => inputs.all(|x| x),
+            GateKind::Or => inputs.any(|x| x),
             GateKind::Not => {
-                assert_eq!(inputs.len(), 1, "NOT gate takes exactly one input");
-                !inputs[0]
+                let first = inputs.next();
+                assert!(
+                    first.is_some() && inputs.next().is_none(),
+                    "NOT gate takes exactly one input"
+                );
+                !first.expect("checked above")
             }
-            GateKind::Xor => inputs.iter().filter(|&&x| x).count() % 2 == 1,
+            GateKind::Xor => inputs.fold(false, |acc, x| acc ^ x),
             GateKind::Mod(m) => {
                 assert!(*m >= 2, "MOD_m needs m >= 2");
-                (inputs.iter().filter(|&&x| x).count() as u64).is_multiple_of(*m)
+                (inputs.filter(|&x| x).count() as u64).is_multiple_of(*m)
             }
-            GateKind::Threshold(t) => (inputs.iter().filter(|&&x| x).count() as u64) >= *t,
-            GateKind::Majority => 2 * inputs.iter().filter(|&&x| x).count() > inputs.len(),
+            GateKind::Threshold(t) => (inputs.filter(|&x| x).count() as u64) >= *t,
+            GateKind::Majority => {
+                let (ones, total) = inputs.fold((0usize, 0usize), |(ones, total), x| {
+                    (ones + usize::from(x), total + 1)
+                });
+                2 * ones > total
+            }
             GateKind::WeightedThreshold { weights, threshold } => {
+                let mut sum = 0u64;
+                let mut count = 0usize;
+                for x in inputs {
+                    assert!(
+                        count < weights.len(),
+                        "weighted threshold needs one weight per input"
+                    );
+                    if x {
+                        sum += weights[count];
+                    }
+                    count += 1;
+                }
                 assert_eq!(
+                    count,
                     weights.len(),
-                    inputs.len(),
                     "weighted threshold needs one weight per input"
                 );
-                let sum: u64 = weights
-                    .iter()
-                    .zip(inputs)
-                    .filter(|(_, &x)| x)
-                    .map(|(&w, _)| w)
-                    .sum();
                 sum >= *threshold
             }
         }
+    }
+
+    /// Returns `true` if the gate is a plain `F₂`/lattice word operation
+    /// (`AND`/`OR`/`XOR`/`NOT`/constant) that [`crate::Circuit::evaluate_batch`]
+    /// can evaluate 64 assignments at a time with one machine word per gate.
+    pub fn is_word_parallel(&self) -> bool {
+        matches!(
+            self,
+            GateKind::Const(_) | GateKind::And | GateKind::Or | GateKind::Not | GateKind::Xor
+        )
     }
 
     /// Checks that `fan_in` is a legal fan-in for this gate kind.

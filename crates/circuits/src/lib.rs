@@ -39,5 +39,8 @@ pub mod gate;
 pub mod matmul;
 
 pub use circuit::{Circuit, Gate, GateId};
+pub use clique_sim::linalg::BitMatrix;
 pub use gate::GateKind;
-pub use matmul::{matmul_f2_naive, matmul_f2_reference, matmul_f2_strassen, MatMulCircuit};
+pub use matmul::{
+    matmul_f2_naive, matmul_f2_reference, matmul_f2_scalar, matmul_f2_strassen, MatMulCircuit,
+};

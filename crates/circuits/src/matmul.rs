@@ -17,6 +17,7 @@
 
 use crate::circuit::{Circuit, GateId};
 use crate::gate::GateKind;
+use clique_sim::linalg::BitMatrix;
 
 /// A matrix-multiplication circuit `C = A·B` over `F₂` together with the
 /// bookkeeping needed to feed it inputs and read its outputs.
@@ -39,32 +40,38 @@ pub struct MatMulCircuit {
 }
 
 impl MatMulCircuit {
-    /// Flattens two `d × d` Boolean matrices into the circuit's input
-    /// assignment.
+    /// Flattens two packed `d × d` matrices into the circuit's input
+    /// assignment (all of `A` row-major, then all of `B` row-major).
     ///
     /// # Panics
     ///
     /// Panics if the matrices do not have dimension `d × d`.
-    pub fn assignment(&self, a: &[Vec<bool>], b: &[Vec<bool>]) -> Vec<bool> {
+    pub fn assignment(&self, a: &BitMatrix, b: &BitMatrix) -> Vec<bool> {
         let d = self.dim;
-        assert!(a.len() == d && b.len() == d, "matrices must be {d}×{d}");
-        let mut out = Vec::with_capacity(2 * d * d);
-        for row in a {
-            assert_eq!(row.len(), d, "matrices must be {d}×{d}");
-            out.extend(row.iter().copied());
+        for (name, m) in [("A", a), ("B", b)] {
+            assert!(
+                m.rows() == d && m.cols() == d,
+                "matrix {name} must be {d}×{d}, got {}×{}",
+                m.rows(),
+                m.cols()
+            );
         }
-        for row in b {
-            assert_eq!(row.len(), d, "matrices must be {d}×{d}");
-            out.extend(row.iter().copied());
+        let mut out = Vec::with_capacity(2 * d * d);
+        for m in [a, b] {
+            for i in 0..d {
+                for j in 0..d {
+                    out.push(m.get(i, j));
+                }
+            }
         }
         out
     }
 
-    /// Evaluates the circuit on two Boolean matrices, returning `A·B` over
-    /// `F₂` as a `d × d` matrix.
-    pub fn multiply(&self, a: &[Vec<bool>], b: &[Vec<bool>]) -> Vec<Vec<bool>> {
+    /// Evaluates the circuit on two packed matrices, returning `A·B` over
+    /// `F₂` as a packed `d × d` matrix.
+    pub fn multiply(&self, a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
         let flat = self.circuit.evaluate(&self.assignment(a, b));
-        flat.chunks(self.dim).map(<[bool]>::to_vec).collect()
+        BitMatrix::from_row_major(self.dim, self.dim, &flat)
     }
 }
 
@@ -253,8 +260,17 @@ fn strassen_rec(c: &mut Circuit, a: &SquareIds, b: &SquareIds) -> SquareIds {
     SquareIds { ids, dim: d }
 }
 
-/// Reference `F₂` matrix product used in tests and by the protocol layer.
-pub fn matmul_f2_reference(a: &[Vec<bool>], b: &[Vec<bool>]) -> Vec<Vec<bool>> {
+/// Reference `F₂` matrix product used in tests and by the protocol layer:
+/// the word-parallel [`BitMatrix::mul_f2`] kernel (which itself dispatches
+/// to the Method of Four Russians for `d ≥ 256`).
+pub fn matmul_f2_reference(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+    a.mul_f2(b)
+}
+
+/// The retained bool-at-a-time `F₂` product: the oracle the packed kernels
+/// are property-tested against, and the scalar baseline `BENCH_kernels.json`
+/// measures the word-parallel speedup from.
+pub fn matmul_f2_scalar(a: &[Vec<bool>], b: &[Vec<bool>]) -> Vec<Vec<bool>> {
     let d = a.len();
     let mut out = vec![vec![false; d]; d];
     for i in 0..d {
@@ -276,10 +292,11 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn random_matrix(rng: &mut impl Rng, d: usize) -> Vec<Vec<bool>> {
-        (0..d)
+    fn random_matrix(rng: &mut impl Rng, d: usize) -> BitMatrix {
+        let rows: Vec<Vec<bool>> = (0..d)
             .map(|_| (0..d).map(|_| rng.gen_bool(0.5)).collect())
-            .collect()
+            .collect();
+        BitMatrix::from_rows(&rows)
     }
 
     #[test]
@@ -309,6 +326,18 @@ mod tests {
                     "Strassen mismatch at d = {d}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn packed_reference_matches_retained_scalar_product() {
+        let mut rng = ChaCha8Rng::seed_from_u64(44);
+        for d in [1usize, 3, 7, 16, 65] {
+            let a = random_matrix(&mut rng, d);
+            let b = random_matrix(&mut rng, d);
+            let packed = matmul_f2_reference(&a, &b);
+            let scalar = matmul_f2_scalar(&a.to_rows(), &b.to_rows());
+            assert_eq!(packed.to_rows(), scalar, "mismatch at d = {d}");
         }
     }
 
@@ -343,7 +372,7 @@ mod tests {
     fn identity_matrix_behaviour() {
         let d = 4;
         let circuit = matmul_f2_strassen(d);
-        let identity: Vec<Vec<bool>> = (0..d).map(|i| (0..d).map(|j| i == j).collect()).collect();
+        let identity = BitMatrix::identity(d);
         let mut rng = ChaCha8Rng::seed_from_u64(43);
         let a = random_matrix(&mut rng, d);
         assert_eq!(circuit.multiply(&a, &identity), a);
@@ -360,8 +389,8 @@ mod tests {
     #[should_panic(expected = "must be")]
     fn mismatched_matrix_dimensions_panic() {
         let circuit = matmul_f2_naive(3);
-        let bad = vec![vec![true; 2]; 3];
-        let good = vec![vec![true; 3]; 3];
+        let bad = BitMatrix::zeros(3, 2);
+        let good = BitMatrix::zeros(3, 3);
         let _ = circuit.multiply(&bad, &good);
     }
 }

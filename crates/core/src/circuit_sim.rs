@@ -408,17 +408,12 @@ fn run_circuit_simulation(
             if matches!(gate.kind, GateKind::Input | GateKind::Const(_)) {
                 continue;
             }
-            let values: Vec<bool> = gate
-                .inputs
-                .iter()
-                .map(|ig| {
-                    known[p]
-                        .get(&ig.index())
-                        .copied()
-                        .expect("light gate input value must have been delivered")
-                })
-                .collect();
-            let value = gate.kind.eval(&values);
+            let value = gate.kind.eval_iter(gate.inputs.iter().map(|ig| {
+                known[p]
+                    .get(&ig.index())
+                    .copied()
+                    .expect("light gate input value must have been delivered")
+            }));
             known[p].insert(gid.index(), value);
         }
     }

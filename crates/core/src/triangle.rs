@@ -118,12 +118,11 @@ impl<R: Rng + ?Sized> Protocol for MatMulTriangleDetection<'_, R> {
         let mut found_edge: Option<(usize, usize)> = None;
 
         for _ in 0..self.trials {
-            // Random diagonal mask D; B1 = A·D masks the columns of A.
+            // Random diagonal mask D; B1 = A·D masks the columns of A. The
+            // mask is drawn bit by bit (same RNG consumption as ever) and
+            // applied word-parallel to the packed adjacency matrix.
             let mask: Vec<bool> = (0..dim).map(|_| self.rng.gen_bool(0.5)).collect();
-            let masked: Vec<Vec<bool>> = adjacency
-                .iter()
-                .map(|row| row.iter().zip(&mask).map(|(&a, &d)| a && d).collect())
-                .collect();
+            let masked = adjacency.mask_columns(&mask);
 
             // Evaluate M = (A·D)·A with the Theorem 2 simulation, nested on
             // this session.
@@ -370,16 +369,20 @@ pub fn detect_triangle_dlp(graph: &Graph, bandwidth: usize) -> Result<DetectionO
     Runner::new(CliqueConfig::unicast(n, bandwidth)).execute(&mut DlpTriangleDetection::new(graph))
 }
 
-/// The adjacency matrix padded with zero rows/columns to `dim × dim`.
-fn padded_adjacency(graph: &Graph, dim: usize) -> Vec<Vec<bool>> {
+/// The packed adjacency matrix padded with zero rows/columns to `dim × dim`.
+fn padded_adjacency(graph: &Graph, dim: usize) -> BitMatrix {
     let n = graph.vertex_count();
-    (0..dim)
-        .map(|i| {
-            (0..dim)
-                .map(|j| i < n && j < n && graph.has_edge(i, j))
-                .collect()
-        })
-        .collect()
+    // dim < n would set bits past `cols`, breaking the BitMatrix invariant
+    // that padding bits are zero (which the packed kernels rely on).
+    assert!(dim >= n, "padding dimension {dim} below vertex count {n}");
+    let mut m = BitMatrix::zeros(dim, dim);
+    for u in 0..n {
+        let row = m.row_words_mut(u);
+        for &v in graph.neighbors(u) {
+            row[v / 64] |= 1u64 << (v % 64);
+        }
+    }
+    m
 }
 
 #[cfg(test)]

@@ -45,22 +45,18 @@ impl Protocol for FullBroadcastDetection<'_> {
         let n = self.graph.vertex_count();
         session.require_clique_of(n);
 
-        // Every node broadcasts its adjacency row (n bits).
-        let rows: Vec<BitString> = (0..n)
-            .map(|v| BitString::from_bools(&self.graph.adjacency_row(v)))
-            .collect();
+        // Every node broadcasts its adjacency row (n bits, packed).
+        let rows: Vec<BitString> = (0..n).map(|v| self.graph.adjacency_row_bits(v)).collect();
         let inboxes = session.broadcast_all("broadcast adjacency rows", &rows)?;
 
         // Node 0 reconstructs the graph from what it received (plus its own
         // row) and searches locally. Every other node could do the same.
-        let mut matrix = vec![vec![false; n]; n];
-        matrix[0] = self.graph.adjacency_row(0);
+        let mut matrix = BitMatrix::zeros(n, n);
+        matrix.set_row_words(0, self.graph.adjacency_row_bits(0).words());
         for (sender, payload) in inboxes[0].broadcasts() {
-            let mut reader = payload.reader();
-            let row: Vec<bool> = (0..n).map(|_| reader.read_bit().unwrap_or(false)).collect();
-            matrix[sender.index()] = row;
+            read_row_into(&mut matrix, sender.index(), payload);
         }
-        let reconstructed = Graph::from_adjacency_matrix(&matrix);
+        let reconstructed = Graph::from_adjacency_bitmatrix(&matrix);
         debug_assert_eq!(&reconstructed, self.graph);
         let witness = find_subgraph(&reconstructed, &self.pattern.graph());
 
@@ -95,20 +91,16 @@ impl Protocol for GatherToLeaderDetection<'_> {
 
         let mut outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
         for (v, out) in outs.iter_mut().enumerate().skip(1) {
-            out.send(
-                NodeId::new(0),
-                BitString::from_bools(&self.graph.adjacency_row(v)),
-            );
+            out.send(NodeId::new(0), self.graph.adjacency_row_bits(v));
         }
         let inboxes = session.exchange("gather rows at leader", outs)?;
 
-        let mut matrix = vec![vec![false; n]; n];
-        matrix[0] = self.graph.adjacency_row(0);
+        let mut matrix = BitMatrix::zeros(n, n);
+        matrix.set_row_words(0, self.graph.adjacency_row_bits(0).words());
         for (sender, payload) in inboxes[0].unicasts() {
-            let mut reader = payload.reader();
-            matrix[sender.index()] = (0..n).map(|_| reader.read_bit().unwrap_or(false)).collect();
+            read_row_into(&mut matrix, sender.index(), payload);
         }
-        let reconstructed = Graph::from_adjacency_matrix(&matrix);
+        let reconstructed = Graph::from_adjacency_bitmatrix(&matrix);
         debug_assert_eq!(&reconstructed, self.graph);
         let witness = find_subgraph(&reconstructed, &self.pattern.graph());
 
@@ -116,6 +108,19 @@ impl Protocol for GatherToLeaderDetection<'_> {
             contains: witness.is_some(),
             witness,
         })
+    }
+}
+
+/// Copies a received adjacency row into row `v` of the matrix via the
+/// word-level reader fast path. Missing trailing bits (a short payload)
+/// read as `false`, matching the old per-bit `unwrap_or(false)` decode.
+fn read_row_into(matrix: &mut BitMatrix, v: usize, payload: &BitString) {
+    let n = matrix.cols();
+    let mut reader = payload.reader();
+    let take = reader.remaining().min(n);
+    if let Some(mut words) = reader.read_words(take) {
+        words.resize(n.div_ceil(64), 0);
+        matrix.set_row_words(v, &words);
     }
 }
 

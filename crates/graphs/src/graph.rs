@@ -9,6 +9,9 @@
 
 use std::fmt;
 
+use clique_sim::bits::BitString;
+use clique_sim::linalg::BitMatrix;
+
 /// An undirected simple graph on vertices `0..n`.
 ///
 /// # Examples
@@ -151,37 +154,88 @@ impl Graph {
         0..self.vertex_count()
     }
 
-    /// The adjacency row of `u` as booleans (used to hand player `u` its
-    /// share of the input).
-    pub fn adjacency_row(&self, u: usize) -> Vec<bool> {
-        let mut row = vec![false; self.vertex_count()];
+    /// The adjacency row of `u` packed into a [`BitString`] of `n` bits
+    /// (used to hand player `u` its share of the input, ready to ship as a
+    /// message payload without a per-bit encode loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn adjacency_row_bits(&self, u: usize) -> BitString {
+        let n = self.vertex_count();
+        let mut words = vec![0u64; n.div_ceil(64)];
         for &v in &self.adj[u] {
-            row[v] = true;
+            words[v / 64] |= 1u64 << (v % 64);
         }
-        row
+        BitString::from_words(&words, n)
+    }
+
+    /// The full adjacency matrix packed into a [`BitMatrix`] (64 entries
+    /// per word), the representation the word-parallel `F₂` kernels
+    /// consume.
+    pub fn adjacency_bitmatrix(&self) -> BitMatrix {
+        let n = self.vertex_count();
+        let mut m = BitMatrix::zeros(n, n);
+        for (u, neighbors) in self.adj.iter().enumerate() {
+            let row = m.row_words_mut(u);
+            for &v in neighbors {
+                row[v / 64] |= 1u64 << (v % 64);
+            }
+        }
+        m
+    }
+
+    /// Builds a graph on `m.rows()` vertices from a packed adjacency
+    /// matrix. The matrix is symmetrised by OR-ing `(u,v)` and `(v,u)`; the
+    /// diagonal is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn from_adjacency_bitmatrix(m: &BitMatrix) -> Self {
+        let n = m.rows();
+        assert_eq!(m.cols(), n, "adjacency matrix must be square");
+        let mut g = Self::empty(n);
+        for u in 0..n {
+            for (wi, &word) in m.row_words(u).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let v = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if u != v {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The adjacency row of `u` as booleans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[deprecated(since = "0.1.0", note = "use `adjacency_row_bits` (packed) instead")]
+    pub fn adjacency_row(&self, u: usize) -> Vec<bool> {
+        self.adjacency_row_bits(u).to_bools()
     }
 
     /// The full adjacency matrix as booleans.
+    #[deprecated(since = "0.1.0", note = "use `adjacency_bitmatrix` (packed) instead")]
     pub fn adjacency_matrix(&self) -> Vec<Vec<bool>> {
-        (0..self.vertex_count())
-            .map(|u| self.adjacency_row(u))
-            .collect()
+        self.adjacency_bitmatrix().to_rows()
     }
 
     /// Builds a graph on `rows.len()` vertices from a symmetric boolean
     /// adjacency matrix. The matrix is symmetrised by OR-ing `(u,v)` and
     /// `(v,u)`; the diagonal is ignored.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `from_adjacency_bitmatrix` (packed) instead"
+    )]
     pub fn from_adjacency_matrix(rows: &[Vec<bool>]) -> Self {
-        let n = rows.len();
-        let mut g = Self::empty(n);
-        for (u, row) in rows.iter().enumerate() {
-            for (v, &bit) in row.iter().enumerate().take(n) {
-                if bit && u != v {
-                    g.add_edge(u, v);
-                }
-            }
-        }
-        g
+        Self::from_adjacency_bitmatrix(&BitMatrix::from_rows(rows))
     }
 
     /// The subgraph induced by `vertices`, relabelled to `0..vertices.len()`
@@ -359,10 +413,41 @@ mod tests {
     #[test]
     fn adjacency_round_trip() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
-        let m = g.adjacency_matrix();
-        let g2 = Graph::from_adjacency_matrix(&m);
+        let m = g.adjacency_bitmatrix();
+        let g2 = Graph::from_adjacency_bitmatrix(&m);
         assert_eq!(g, g2);
-        assert_eq!(g.adjacency_row(0), vec![false, true, false, true]);
+        assert_eq!(
+            g.adjacency_row_bits(0).to_bools(),
+            vec![false, true, false, true]
+        );
+        // Packed rows agree with the matrix rows.
+        for u in 0..4 {
+            assert_eq!(g.adjacency_row_bits(u), m.row_bits(u));
+        }
+    }
+
+    #[test]
+    fn adjacency_round_trip_across_word_boundaries() {
+        // 70 vertices forces two words per packed row.
+        let mut g = Graph::empty(70);
+        g.add_edge(0, 69);
+        g.add_edge(63, 64);
+        g.add_edge(1, 63);
+        let m = g.adjacency_bitmatrix();
+        assert_eq!(Graph::from_adjacency_bitmatrix(&m), g);
+        assert_eq!(m.count_ones(), 2 * g.edge_count());
+        let row = g.adjacency_row_bits(69);
+        assert_eq!(row.len(), 70);
+        assert!(row.bit(0) && !row.bit(1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_bool_accessors_still_round_trip() {
+        let g = Graph::from_edges(5, &[(0, 4), (1, 2), (2, 3)]);
+        let rows = g.adjacency_matrix();
+        assert_eq!(Graph::from_adjacency_matrix(&rows), g);
+        assert_eq!(g.adjacency_row(2), rows[2]);
     }
 
     #[test]

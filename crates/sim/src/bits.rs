@@ -61,12 +61,53 @@ impl BitString {
     }
 
     /// Creates a bit string from a slice of booleans, one bit per element.
+    ///
+    /// Packs 64 bits per word instead of appending bit by bit.
     pub fn from_bools(bits: &[bool]) -> Self {
-        let mut bs = Self::with_capacity(bits.len());
-        for &bit in bits {
-            bs.push_bit(bit);
+        let words = bits
+            .chunks(64)
+            .map(|chunk| {
+                let mut word = 0u64;
+                for (i, &bit) in chunk.iter().enumerate() {
+                    word |= u64::from(bit) << i;
+                }
+                word
+            })
+            .collect();
+        Self {
+            words,
+            len: bits.len(),
         }
+    }
+
+    /// Creates a bit string of length `len` from packed little-endian words
+    /// (bit `i` is bit `i % 64` of `words[i / 64]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `len` bits.
+    pub fn from_words(words: &[u64], len: usize) -> Self {
+        let mut bs = Self::with_capacity(len);
+        bs.push_words(words, len);
         bs
+    }
+
+    /// The bits unpacked into a vector of booleans, one element per bit.
+    pub fn to_bools(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.len);
+        for (w, &word) in self.words.iter().enumerate() {
+            let take = (self.len - w * 64).min(64);
+            for i in 0..take {
+                out.push((word >> i) & 1 == 1);
+            }
+        }
+        out
+    }
+
+    /// The packed little-endian words backing the bit string. Bits past
+    /// `len()` in the last word are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Number of bits stored.
@@ -94,13 +135,65 @@ impl BitString {
 
     /// Appends the `width` low-order bits of `value`, least-significant first.
     ///
+    /// The bits are shifted into the (at most two) straddled words in O(1)
+    /// instead of one call per bit.
+    ///
     /// # Panics
     ///
     /// Panics if `width > 64`.
     pub fn push_bits(&mut self, value: u64, width: usize) {
         assert!(width <= 64, "width {width} exceeds 64 bits");
-        for i in 0..width {
-            self.push_bit((value >> i) & 1 == 1);
+        if width == 0 {
+            return;
+        }
+        let value = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        let word_idx = self.len / 64;
+        let bit_idx = self.len % 64;
+        while self.words.len() * 64 < self.len + width {
+            self.words.push(0);
+        }
+        self.words[word_idx] |= value << bit_idx;
+        if bit_idx + width > 64 {
+            self.words[word_idx + 1] |= value >> (64 - bit_idx);
+        }
+        self.len += width;
+    }
+
+    /// Appends the first `len` bits of the packed little-endian `words`
+    /// (the inverse of [`BitReader::read_words`]).
+    ///
+    /// When the current length is word-aligned this is a bulk copy; otherwise
+    /// each word is shifted into place with two word operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `len` bits.
+    pub fn push_words(&mut self, words: &[u64], len: usize) {
+        assert!(
+            len <= words.len() * 64,
+            "{len} bits requested from {} words",
+            words.len()
+        );
+        let full = len / 64;
+        let rem = len % 64;
+        if self.len.is_multiple_of(64) {
+            // Word-aligned fast path: memcpy the full words.
+            self.words.extend_from_slice(&words[..full]);
+            if rem > 0 {
+                self.words.push(words[full] & ((1u64 << rem) - 1));
+            }
+            self.len += len;
+        } else {
+            for &word in &words[..full] {
+                self.push_bits(word, 64);
+            }
+            if rem > 0 {
+                self.push_bits(words[full], rem);
+            }
         }
     }
 
@@ -119,11 +212,9 @@ impl BitString {
         self.push_bits(value, bits_for_universe(universe));
     }
 
-    /// Appends all bits of `other`.
+    /// Appends all bits of `other` (word-at-a-time).
     pub fn extend_from(&mut self, other: &BitString) {
-        for i in 0..other.len {
-            self.push_bit(other.bit(i));
-        }
+        self.push_words(&other.words, other.len);
     }
 
     /// Returns the bit at position `index`.
@@ -219,7 +310,8 @@ impl<'a> BitReader<'a> {
 
     /// Reads `width` bits as an unsigned integer (least-significant first).
     ///
-    /// Returns `None` if fewer than `width` bits remain.
+    /// Returns `None` if fewer than `width` bits remain. The bits are
+    /// extracted from the (at most two) straddled words in O(1).
     ///
     /// # Panics
     ///
@@ -229,14 +321,38 @@ impl<'a> BitReader<'a> {
         if self.pos + width > self.bits.len() {
             return None;
         }
-        let mut value = 0u64;
-        for i in 0..width {
-            if self.bits.bit(self.pos + i) {
-                value |= 1u64 << i;
-            }
+        if width == 0 {
+            return Some(0);
+        }
+        let word_idx = self.pos / 64;
+        let bit_idx = self.pos % 64;
+        let mut value = self.bits.words[word_idx] >> bit_idx;
+        if bit_idx + width > 64 {
+            value |= self.bits.words[word_idx + 1] << (64 - bit_idx);
+        }
+        if width < 64 {
+            value &= (1u64 << width) - 1;
         }
         self.pos += width;
         Some(value)
+    }
+
+    /// Reads `len` bits into packed little-endian words (the inverse of
+    /// [`BitString::push_words`]).
+    ///
+    /// Returns `None` (without advancing) if fewer than `len` bits remain.
+    pub fn read_words(&mut self, len: usize) -> Option<Vec<u64>> {
+        if self.pos + len > self.bits.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len.div_ceil(64));
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            out.push(self.read_bits(take).expect("length checked above"));
+            remaining -= take;
+        }
+        Some(out)
     }
 
     /// Reads an unsigned integer encoded with [`BitString::push_uint`] for
@@ -404,6 +520,77 @@ mod tests {
         let bs = BitString::from_bools(&[true, false, true]);
         assert_eq!(format!("{bs}"), "101");
         assert!(format!("{bs:?}").contains("3 bits"));
+    }
+
+    #[test]
+    fn push_words_and_read_words_round_trip() {
+        for offset in [0usize, 1, 3, 63, 64, 65] {
+            for len in [0usize, 1, 37, 64, 100, 128, 200] {
+                let words: Vec<u64> = (0..len.div_ceil(64).max(1))
+                    .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+                    .collect();
+                let mut bs = BitString::new();
+                for i in 0..offset {
+                    bs.push_bit(i % 3 == 0);
+                }
+                bs.push_words(&words, len);
+                assert_eq!(bs.len(), offset + len);
+                let mut r = bs.reader();
+                for i in 0..offset {
+                    assert_eq!(r.read_bit(), Some(i % 3 == 0));
+                }
+                let got = r.read_words(len).expect("enough bits");
+                assert_eq!(got.len(), len.div_ceil(64));
+                for (w, &word) in got.iter().enumerate() {
+                    let width = (len - w * 64).min(64);
+                    let mask = if width == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << width) - 1
+                    };
+                    assert_eq!(
+                        word,
+                        words[w] & mask,
+                        "offset {offset}, len {len}, word {w}"
+                    );
+                }
+                assert!(r.is_exhausted());
+            }
+        }
+    }
+
+    #[test]
+    fn read_words_past_end_does_not_advance() {
+        let bs = BitString::from_bits(0b101, 3);
+        let mut r = bs.reader();
+        assert_eq!(r.read_words(4), None);
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.read_words(3), Some(vec![0b101]));
+    }
+
+    #[test]
+    fn from_words_and_to_bools_match_per_bit_paths() {
+        let bools: Vec<bool> = (0..150).map(|i| (i * 7) % 5 < 2).collect();
+        let packed = BitString::from_bools(&bools);
+        let mut per_bit = BitString::new();
+        for &b in &bools {
+            per_bit.push_bit(b);
+        }
+        assert_eq!(packed, per_bit);
+        assert_eq!(packed.to_bools(), bools);
+        let rebuilt = BitString::from_words(packed.words(), packed.len());
+        assert_eq!(rebuilt, packed);
+    }
+
+    #[test]
+    fn unused_high_bits_stay_zero() {
+        // `words()` promises zeroed padding; push paths must maintain it.
+        let mut bs = BitString::from_bools(&[true; 70]);
+        bs.push_bits(u64::MAX, 3);
+        bs.push_words(&[u64::MAX], 5);
+        let last = *bs.words().last().unwrap();
+        let used = bs.len() % 64;
+        assert_eq!(last >> used, 0);
     }
 
     #[test]

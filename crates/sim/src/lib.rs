@@ -57,6 +57,7 @@
 
 pub mod bits;
 pub mod engine;
+pub mod linalg;
 pub mod metrics;
 pub mod model;
 pub mod node;
@@ -69,6 +70,7 @@ pub mod session;
 pub mod prelude {
     pub use crate::bits::{bits_for_universe, BitReader, BitString};
     pub use crate::engine::RoundEngine;
+    pub use crate::linalg::BitMatrix;
     pub use crate::metrics::{Metrics, PhaseRecord, RunReport};
     pub use crate::model::{
         AdjacencyTopology, CliqueConfig, CliqueConfigBuilder, CommMode, SimError, Topology,
@@ -81,6 +83,7 @@ pub mod prelude {
 }
 
 pub use bits::BitString;
+pub use linalg::BitMatrix;
 pub use metrics::{Metrics, RunReport};
 pub use model::{CliqueConfig, CliqueConfigBuilder, CommMode, SimError};
 pub use node::NodeId;

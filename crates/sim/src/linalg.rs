@@ -1,0 +1,575 @@
+//! Word-parallel Boolean/`F₂` linear algebra.
+//!
+//! The Theorem 2 transfer makes `F₂` matrix multiplication the workhorse
+//! primitive of the reproduction (Section 2.1 and the algebraic-methods
+//! follow-ups), so the host-side representation matters: [`BitMatrix`] packs
+//! each row into `u64` words and multiplies with word operations — 64 field
+//! elements per machine instruction — instead of one `bool` at a time.
+//!
+//! Two multiplication kernels are provided:
+//!
+//! * [`BitMatrix::mul_f2_word`] — for every set bit `A[i][k]`, XOR row `k`
+//!   of `B` into the accumulator row, one word at a time;
+//! * [`BitMatrix::mul_f2_four_russians`] — the Method of Four Russians:
+//!   group the rows of `B` in blocks of 8, precompute all 256 XOR
+//!   combinations per block, then handle 8 columns of `A` per table lookup.
+//!
+//! [`BitMatrix::mul_f2`] dispatches between them (Four Russians from
+//! dimension 256 up). Packing is a *host-side* optimisation only: protocols
+//! built on these kernels exchange exactly the same transcripts as the
+//! `Vec<Vec<bool>>` code they replaced (pinned by `tests/protocol_regression.rs`).
+
+use std::fmt;
+
+use crate::bits::BitString;
+
+/// Row count from which [`BitMatrix::mul_f2`] switches to the Method of
+/// Four Russians.
+pub const FOUR_RUSSIANS_MIN_DIM: usize = 256;
+
+/// Rows-of-`B` block width of the Four-Russians kernel (8 bits → 256-entry
+/// tables).
+const M4R_BLOCK: usize = 8;
+
+/// A dense Boolean matrix with rows packed into little-endian `u64` words
+/// (column `j` of row `i` is bit `j % 64` of word `j / 64`).
+///
+/// Bits past `cols` in the last word of each row are always zero; every
+/// mutating method maintains this invariant, which the multiplication
+/// kernels rely on.
+///
+/// # Examples
+///
+/// ```
+/// use clique_sim::linalg::BitMatrix;
+///
+/// let a = BitMatrix::from_rows(&[vec![true, false], vec![true, true]]);
+/// let id = BitMatrix::identity(2);
+/// assert_eq!(a.mul_f2(&id), a);
+/// assert!(a.get(1, 1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        Self {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    /// The `d × d` identity matrix.
+    pub fn identity(d: usize) -> Self {
+        let mut m = Self::zeros(d, d);
+        for i in 0..d {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Packs a rectangular `Vec<Vec<bool>>` row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<bool>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut m = Self::zeros(rows.len(), cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {i} has length {}", row.len());
+            let words = m.row_words_mut(i);
+            for (j, &bit) in row.iter().enumerate() {
+                words[j / 64] |= u64::from(bit) << (j % 64);
+            }
+        }
+        m
+    }
+
+    /// Packs a flat row-major bit slice into a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, bits: &[bool]) -> Self {
+        assert_eq!(bits.len(), rows * cols, "expected {} bits", rows * cols);
+        let mut m = Self::zeros(rows, cols);
+        for (i, row) in bits.chunks(cols.max(1)).enumerate().take(rows) {
+            let words = m.row_words_mut(i);
+            for (j, &bit) in row.iter().enumerate() {
+                words[j / 64] |= u64::from(bit) << (j % 64);
+            }
+        }
+        m
+    }
+
+    /// Unpacks into a `Vec<Vec<bool>>` (the inverse of [`Self::from_rows`]).
+    pub fn to_rows(&self) -> Vec<Vec<bool>> {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j)).collect())
+            .collect()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// The entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        (self.data[i * self.words_per_row + j / 64] >> (j % 64)) & 1 == 1
+    }
+
+    /// Sets the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        let word = &mut self.data[i * self.words_per_row + j / 64];
+        if value {
+            *word |= 1u64 << (j % 64);
+        } else {
+            *word &= !(1u64 << (j % 64));
+        }
+    }
+
+    /// The packed words of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        assert!(i < self.rows, "row {i} out of range");
+        &self.data[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Mutable access to the packed words of row `i`. Callers must keep the
+    /// bits past `cols()` in the last word zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_words_mut(&mut self, i: usize) -> &mut [u64] {
+        assert!(i < self.rows, "row {i} out of range");
+        &mut self.data[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Row `i` as a [`BitString`] of `cols()` bits, ready to ship as a
+    /// message payload.
+    pub fn row_bits(&self, i: usize) -> BitString {
+        BitString::from_words(self.row_words(i), self.cols)
+    }
+
+    /// Overwrites row `i` with the low `cols()` bits of `words` (extra high
+    /// bits of the last word are masked off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `words` holds fewer than `cols()`
+    /// bits.
+    pub fn set_row_words(&mut self, i: usize, words: &[u64]) {
+        assert!(
+            words.len() * 64 >= self.cols,
+            "{} words cannot hold {} columns",
+            words.len(),
+            self.cols
+        );
+        let cols = self.cols;
+        let row = self.row_words_mut(i);
+        row.copy_from_slice(&words[..row.len()]);
+        let rem = cols % 64;
+        if rem > 0 {
+            if let Some(last) = row.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of set entries.
+    pub fn count_ones(&self) -> usize {
+        self.data.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The matrix with column `j` zeroed wherever `mask[j]` is `false`
+    /// (each row is AND-ed with the packed mask, one word at a time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != cols()`.
+    pub fn mask_columns(&self, mask: &[bool]) -> BitMatrix {
+        assert_eq!(mask.len(), self.cols, "mask length must equal cols");
+        let mut packed = vec![0u64; self.words_per_row];
+        for (j, &keep) in mask.iter().enumerate() {
+            packed[j / 64] |= u64::from(keep) << (j % 64);
+        }
+        let mut out = self.clone();
+        for row in out.data.chunks_mut(self.words_per_row.max(1)) {
+            for (word, &m) in row.iter_mut().zip(&packed) {
+                *word &= m;
+            }
+        }
+        out
+    }
+
+    /// Elementwise XOR (addition over `F₂`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn xor(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "dimension mismatch"
+        );
+        let mut out = self.clone();
+        for (w, &o) in out.data.iter_mut().zip(&other.data) {
+            *w ^= o;
+        }
+        out
+    }
+
+    /// The matrix product over `F₂`, dispatching to the Four-Russians kernel
+    /// for inner dimensions of [`FOUR_RUSSIANS_MIN_DIM`] and up and to the
+    /// plain word kernel below that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_f2(&self, rhs: &BitMatrix) -> BitMatrix {
+        if Self::dispatches_to_four_russians(self.cols) {
+            self.mul_f2_four_russians(rhs)
+        } else {
+            self.mul_f2_word(rhs)
+        }
+    }
+
+    /// Whether [`mul_f2`](Self::mul_f2) routes an inner dimension to the
+    /// Four-Russians kernel instead of the plain word kernel.
+    fn dispatches_to_four_russians(inner_dim: usize) -> bool {
+        inner_dim >= FOUR_RUSSIANS_MIN_DIM
+    }
+
+    /// The word-level product: for every set bit `A[i][k]`, XOR row `k` of
+    /// `B` into output row `i` (64 columns per word operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_f2_word(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions differ: {} vs {}",
+            self.cols, rhs.rows
+        );
+        let w = rhs.words_per_row;
+        let mut out = BitMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let (a_row, out_row) = (
+                &self.data[i * self.words_per_row..(i + 1) * self.words_per_row],
+                &mut out.data[i * w..(i + 1) * w],
+            );
+            for (wi, &word) in a_row.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let k = wi * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let b_row = &rhs.data[k * w..(k + 1) * w];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o ^= b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The Method-of-Four-Russians product: rows of `B` are processed in
+    /// blocks of 8; per block all 256 XOR combinations are tabulated
+    /// incrementally (one row XOR per entry), then every row of `A` consumes
+    /// 8 of its columns with a single table lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_f2_four_russians(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions differ: {} vs {}",
+            self.cols, rhs.rows
+        );
+        let w = rhs.words_per_row;
+        let mut out = BitMatrix::zeros(self.rows, rhs.cols);
+        if self.rows == 0 || rhs.rows == 0 || w == 0 {
+            return out;
+        }
+        let mut table = vec![0u64; (1 << M4R_BLOCK) * w];
+        for block in 0..rhs.rows.div_ceil(M4R_BLOCK) {
+            let base = block * M4R_BLOCK;
+            let size = M4R_BLOCK.min(rhs.rows - base);
+            // table[idx] = XOR of the rows of B selected by the bits of idx;
+            // built incrementally: idx = rest | lowest bit, one XOR each.
+            for idx in 1usize..1 << size {
+                let low = idx.trailing_zeros() as usize;
+                let rest = idx & (idx - 1);
+                let b_row = (base + low) * w;
+                for wi in 0..w {
+                    table[idx * w + wi] = table[rest * w + wi] ^ rhs.data[b_row + wi];
+                }
+            }
+            for i in 0..self.rows {
+                let idx = self.extract_row_bits(i, base, size) as usize;
+                if idx != 0 {
+                    let out_row = &mut out.data[i * w..(i + 1) * w];
+                    for (o, &t) in out_row.iter_mut().zip(&table[idx * w..(idx + 1) * w]) {
+                        *o ^= t;
+                    }
+                }
+            }
+            // No table reset between blocks: the build loop overwrites every
+            // entry in 1..1<<size by plain assignment, table[0] is never
+            // written, and lookups are masked to `size` bits.
+        }
+        out
+    }
+
+    /// Extracts `len ≤ 8` bits of row `i` starting at column `start`
+    /// (straddling at most two words).
+    fn extract_row_bits(&self, i: usize, start: usize, len: usize) -> u64 {
+        debug_assert!(len <= M4R_BLOCK && start + len <= self.cols);
+        let row = i * self.words_per_row;
+        let word_idx = start / 64;
+        let bit_idx = start % 64;
+        let mut value = self.data[row + word_idx] >> bit_idx;
+        if bit_idx + len > 64 {
+            value |= self.data[row + word_idx + 1] << (64 - bit_idx);
+        }
+        value & ((1u64 << len) - 1)
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BitMatrix({}×{}, {} ones)",
+            self.rows,
+            self.cols,
+            self.count_ones()
+        )
+    }
+}
+
+impl fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{}", u8::from(self.get(i, j)))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The bool-at-a-time product the packed kernels must agree with.
+    fn scalar_product(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+        let mut out = BitMatrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = false;
+                for k in 0..a.cols() {
+                    acc ^= a.get(i, k) & b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+        let mut m = BitMatrix::zeros(rows, cols);
+        let mut state = seed | 1;
+        for i in 0..rows {
+            for j in 0..cols {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                m.set(i, j, state >> 62 & 1 == 1);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn round_trips_between_representations() {
+        let rows = vec![
+            vec![true, false, true],
+            vec![false, false, false],
+            vec![true, true, true],
+        ];
+        let m = BitMatrix::from_rows(&rows);
+        assert_eq!(m.to_rows(), rows);
+        assert_eq!((m.rows(), m.cols()), (3, 3));
+        assert_eq!(m.count_ones(), 5);
+        let flat: Vec<bool> = rows.iter().flatten().copied().collect();
+        assert_eq!(BitMatrix::from_row_major(3, 3, &flat), m);
+        assert_eq!(m.row_bits(0).to_bools(), rows[0]);
+    }
+
+    #[test]
+    fn set_and_get_across_word_boundaries() {
+        let mut m = BitMatrix::zeros(2, 130);
+        m.set(0, 0, true);
+        m.set(0, 63, true);
+        m.set(0, 64, true);
+        m.set(1, 129, true);
+        assert!(m.get(0, 0) && m.get(0, 63) && m.get(0, 64) && m.get(1, 129));
+        assert_eq!(m.count_ones(), 4);
+        m.set(0, 64, false);
+        assert!(!m.get(0, 64));
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn both_kernels_match_the_scalar_product() {
+        for (ra, c, cb, seed) in [
+            (1usize, 1usize, 1usize, 1u64),
+            (3, 5, 4, 2),
+            (17, 64, 9, 3),
+            (8, 65, 70, 4),
+            (20, 130, 20, 5),
+        ] {
+            let a = pseudo_random(ra, c, seed);
+            let b = pseudo_random(c, cb, seed + 100);
+            let expected = scalar_product(&a, &b);
+            assert_eq!(a.mul_f2_word(&b), expected, "word kernel {ra}x{c}x{cb}");
+            assert_eq!(
+                a.mul_f2_four_russians(&b),
+                expected,
+                "four russians {ra}x{c}x{cb}"
+            );
+            assert_eq!(a.mul_f2(&b), expected, "dispatch {ra}x{c}x{cb}");
+        }
+    }
+
+    #[test]
+    fn dispatch_threshold_selects_the_expected_kernel() {
+        assert!(!BitMatrix::dispatches_to_four_russians(0));
+        assert!(!BitMatrix::dispatches_to_four_russians(
+            FOUR_RUSSIANS_MIN_DIM - 1
+        ));
+        assert!(BitMatrix::dispatches_to_four_russians(
+            FOUR_RUSSIANS_MIN_DIM
+        ));
+        // And the routed kernel agrees with the other path at the threshold.
+        let d = FOUR_RUSSIANS_MIN_DIM;
+        let a = pseudo_random(4, d, 7);
+        let b = pseudo_random(d, 4, 8);
+        assert_eq!(a.mul_f2(&b), a.mul_f2_word(&b));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = pseudo_random(9, 9, 11);
+        let id = BitMatrix::identity(9);
+        assert_eq!(m.mul_f2(&id), m);
+        assert_eq!(id.mul_f2(&m), m);
+    }
+
+    #[test]
+    fn mask_columns_zeroes_unselected_columns() {
+        let m = pseudo_random(5, 70, 13);
+        let mask: Vec<bool> = (0..70).map(|j| j % 3 != 0).collect();
+        let masked = m.mask_columns(&mask);
+        for i in 0..5 {
+            for (j, &keep) in mask.iter().enumerate() {
+                assert_eq!(masked.get(i, j), m.get(i, j) && keep);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_is_elementwise() {
+        let a = pseudo_random(4, 66, 17);
+        let b = pseudo_random(4, 66, 19);
+        let c = a.xor(&b);
+        for i in 0..4 {
+            for j in 0..66 {
+                assert_eq!(c.get(i, j), a.get(i, j) ^ b.get(i, j));
+            }
+        }
+        assert!(a.xor(&a).count_ones() == 0);
+    }
+
+    #[test]
+    fn set_row_words_masks_padding() {
+        let mut m = BitMatrix::zeros(2, 70);
+        m.set_row_words(1, &[u64::MAX, u64::MAX]);
+        assert_eq!(m.count_ones(), 70);
+        assert_eq!(m.row_words(1)[1] >> 6, 0, "padding bits must stay zero");
+    }
+
+    #[test]
+    fn empty_matrices_multiply() {
+        let a = BitMatrix::zeros(0, 5);
+        let b = BitMatrix::zeros(5, 3);
+        assert_eq!(a.mul_f2(&b).rows(), 0);
+        let a = BitMatrix::zeros(3, 0);
+        let b = BitMatrix::zeros(0, 4);
+        let c = a.mul_f2(&b);
+        assert_eq!((c.rows(), c.cols()), (3, 4));
+        assert_eq!(c.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn mismatched_inner_dimensions_panic() {
+        let a = BitMatrix::zeros(2, 3);
+        let b = BitMatrix::zeros(4, 2);
+        let _ = a.mul_f2(&b);
+    }
+
+    #[test]
+    fn debug_and_display_are_informative() {
+        let m = BitMatrix::identity(2);
+        assert_eq!(format!("{m:?}"), "BitMatrix(2×2, 2 ones)");
+        assert_eq!(m.to_string(), "10\n01\n");
+    }
+}

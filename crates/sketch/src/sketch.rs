@@ -244,16 +244,8 @@ impl PowerSumSketch {
 /// elements. This is the `O(k log n)` message of Becker et al.
 pub fn sketch_bits(universe: u64, capacity: usize) -> usize {
     let field = PrimeField::for_universe(universe + 1, capacity as u64);
-    let count_bits = clique_sim_bits(universe + 1);
+    let count_bits = clique_sim::bits::bits_for_universe(universe + 1);
     count_bits + capacity * field.element_bits()
-}
-
-fn clique_sim_bits(universe: u64) -> usize {
-    if universe <= 1 {
-        0
-    } else {
-        (64 - (universe - 1).leading_zeros()) as usize
-    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use congested_clique::lower_bounds::{
     clique_detection_lower_bound, cycle_detection_lower_bound, triangle_nof_lower_bound,
     DetectorKind,
 };
+use congested_clique::sim::linalg::BitMatrix;
 use congested_clique::subgraph::detect_subgraph_turan;
 use congested_clique::triangle::{
     detect_triangle_dlp, detect_triangle_trivial, detect_triangle_via_matmul, MatMulStrategy,
@@ -137,12 +138,14 @@ fn matmul_circuits_compose_with_the_simulation() {
     let mut r = rng(4);
     let dim = 8usize;
     let mm = matmul::matmul_f2_strassen(dim);
-    let a: Vec<Vec<bool>> = (0..dim)
-        .map(|_| (0..dim).map(|_| r.gen_bool(0.5)).collect())
-        .collect();
-    let b: Vec<Vec<bool>> = (0..dim)
-        .map(|_| (0..dim).map(|_| r.gen_bool(0.5)).collect())
-        .collect();
+    let mut random_packed = || {
+        let rows: Vec<Vec<bool>> = (0..dim)
+            .map(|_| (0..dim).map(|_| r.gen_bool(0.5)).collect())
+            .collect();
+        BitMatrix::from_rows(&rows)
+    };
+    let a = random_packed();
+    let b = random_packed();
     let assignment = mm.assignment(&a, &b);
     let sim = simulate_circuit(
         &mm.circuit,
@@ -153,7 +156,7 @@ fn matmul_circuits_compose_with_the_simulation() {
     )
     .unwrap();
     let reference = matmul::matmul_f2_reference(&a, &b);
-    let flat: Vec<bool> = reference.into_iter().flatten().collect();
+    let flat: Vec<bool> = reference.to_rows().into_iter().flatten().collect();
     assert_eq!(sim.outputs, flat);
 }
 

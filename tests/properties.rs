@@ -6,7 +6,8 @@
 //! subgraph-isomorphism oracle, Behrend sets, and the lower-bound gadget
 //! semantics of Observation 11.
 
-use congested_clique::circuits::{builders, Circuit, GateKind};
+use congested_clique::circuits::matmul::{matmul_f2_reference, matmul_f2_scalar};
+use congested_clique::circuits::{builders, BitMatrix, Circuit, GateKind};
 use congested_clique::comm::disjointness::DisjointnessInstance;
 use congested_clique::comm::lbgraph::LowerBoundGraph;
 use congested_clique::graphs::behrend::{behrend_set, is_3ap_free};
@@ -42,6 +43,109 @@ proptest! {
             prop_assert_eq!(reader.read_bits(w), Some(v & ((1 << w) - 1)));
         }
         prop_assert!(reader.is_exhausted());
+    }
+
+    #[test]
+    fn bitstring_word_and_bool_paths_agree(bools in prop::collection::vec(any::<bool>(), 0..200), prefix in 0usize..70) {
+        // from_bools (word-packing) == per-bit pushes; to_bools inverts it.
+        let packed = BitString::from_bools(&bools);
+        let mut per_bit = BitString::new();
+        for &b in &bools {
+            per_bit.push_bit(b);
+        }
+        prop_assert_eq!(&packed, &per_bit);
+        prop_assert_eq!(packed.to_bools(), bools.clone());
+
+        // push_words/read_words round-trip at an arbitrary bit offset.
+        let mut bits = BitString::new();
+        for i in 0..prefix {
+            bits.push_bit(i % 2 == 0);
+        }
+        bits.push_words(packed.words(), packed.len());
+        let mut reader = bits.reader();
+        for i in 0..prefix {
+            prop_assert_eq!(reader.read_bit(), Some(i % 2 == 0));
+        }
+        let words = reader.read_words(packed.len()).expect("enough bits");
+        prop_assert_eq!(BitString::from_words(&words, packed.len()), packed);
+        prop_assert!(reader.is_exhausted());
+    }
+
+    #[test]
+    fn packed_matmul_kernels_match_the_scalar_reference(
+        ra in 1usize..24,
+        c in 1usize..90,
+        cb in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a_rows: Vec<Vec<bool>> = (0..ra).map(|_| (0..c).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        let b_rows: Vec<Vec<bool>> = (0..c).map(|_| (0..cb).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        let a = BitMatrix::from_rows(&a_rows);
+        let b = BitMatrix::from_rows(&b_rows);
+
+        // Scalar oracle (square-only helper is bypassed for rectangles).
+        let mut expected = BitMatrix::zeros(ra, cb);
+        for (i, row_a) in a_rows.iter().enumerate() {
+            for j in 0..cb {
+                let mut acc = false;
+                for (k, row_b) in b_rows.iter().enumerate() {
+                    acc ^= row_a[k] & row_b[j];
+                }
+                expected.set(i, j, acc);
+            }
+        }
+        prop_assert_eq!(a.mul_f2_word(&b), expected.clone(), "word kernel");
+        prop_assert_eq!(a.mul_f2_four_russians(&b), expected.clone(), "four-russians kernel");
+        prop_assert_eq!(a.mul_f2(&b), expected, "dispatching kernel");
+    }
+
+    #[test]
+    fn square_packed_matmul_matches_retained_scalar_reference(d in 1usize..40, seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a_rows: Vec<Vec<bool>> = (0..d).map(|_| (0..d).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        let b_rows: Vec<Vec<bool>> = (0..d).map(|_| (0..d).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        let packed = matmul_f2_reference(&BitMatrix::from_rows(&a_rows), &BitMatrix::from_rows(&b_rows));
+        prop_assert_eq!(packed.to_rows(), matmul_f2_scalar(&a_rows, &b_rows));
+    }
+
+    #[test]
+    fn evaluate_batch_lane_equals_sequential_evaluate(
+        inputs in 2usize..30,
+        arity in 2usize..5,
+        batch in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // A mix of word-parallel circuits and counting-gate circuits.
+        let circuits: Vec<Circuit> = vec![
+            builders::parity_tree(inputs, arity),
+            builders::majority(inputs),
+            builders::mod_m(inputs, 3),
+            builders::inner_product_mod2(inputs / 2),
+        ];
+        for circuit in &circuits {
+            let assignments: Vec<Vec<bool>> = (0..batch)
+                .map(|_| (0..circuit.inputs().len()).map(|_| rng.gen_bool(0.5)).collect())
+                .collect();
+            let batch_out = circuit.evaluate_batch(&assignments);
+            prop_assert_eq!(batch_out.len(), assignments.len());
+            for (k, assignment) in assignments.iter().enumerate() {
+                prop_assert_eq!(&batch_out[k], &circuit.evaluate(assignment), "lane {}", k);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_adjacency_round_trips_and_matches_rows(n in 1usize..80, p in 0.0f64..0.6, seed in 0u64..1000) {
+        let g = seeded_graph(n, p, seed);
+        let m = g.adjacency_bitmatrix();
+        prop_assert_eq!(Graph::from_adjacency_bitmatrix(&m), g.clone());
+        for u in 0..n {
+            let row = g.adjacency_row_bits(u);
+            prop_assert_eq!(row.len(), n);
+            prop_assert_eq!(row, m.row_bits(u));
+        }
     }
 
     #[test]
