@@ -1,0 +1,24 @@
+//! Criterion benchmark for experiment E13: wall-clock cost of the
+//! `e13_semiring_matmul` sweep at quick scale (distributed semiring matmul,
+//! triangle counting and APSP). The full sweep (and the table the scaling
+//! claim is checked against) is produced by the `experiments` binary.
+
+use std::time::Duration;
+
+use clique_bench::experiments::e13_semiring_matmul;
+use clique_bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_semiring_matmul");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("quick sweep", |b| {
+        b.iter(|| e13_semiring_matmul(Scale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

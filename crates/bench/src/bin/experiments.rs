@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E12) of EXPERIMENTS.md.
+//! Regenerates every experiment table (E1–E13) of EXPERIMENTS.md.
 //!
 //! Usage:
 //!
@@ -41,6 +41,7 @@ fn main() {
         ("E10", experiments::e10_counting),
         ("E11", experiments::e11_degeneracy_turan),
         ("E12", experiments::e12_sketch_reconstruction),
+        ("E13", experiments::e13_semiring_matmul),
     ];
 
     for flag in args.iter().filter(|a| a.starts_with("--")) {

@@ -7,6 +7,10 @@
 //! * packed `BitMatrix` multiplication ([`BitMatrix::mul_f2`], plus the
 //!   word-level and Four-Russians kernels individually) against the retained
 //!   bool-at-a-time reference `matmul_f2_scalar`, at `d ∈ {64, 128, 256}`;
+//! * the counting-semiring product of 0/1 matrices (the local kernel of the
+//!   `SemiringMatMul`/`TriangleCount` protocols): the word-parallel
+//!   AND+popcount path against the schoolbook `u64` triple loop, at the
+//!   same dimensions;
 //! * 64-assignment bit-sliced `Circuit::evaluate_batch` against 64
 //!   sequential `Circuit::evaluate` calls on the Strassen `d = 8` circuit.
 //!
@@ -24,7 +28,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use clique_core::circuits::matmul::{matmul_f2_scalar, matmul_f2_strassen};
-use clique_core::sim::linalg::BitMatrix;
+use clique_core::sim::linalg::{BitMatrix, IntMatrix};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -102,6 +106,60 @@ fn bench_matmul(d: usize, budget_ms: u64, max_reps: u32, rng: &mut ChaCha8Rng) -
     }
 }
 
+struct CountingRow {
+    d: usize,
+    scalar_ns: f64,
+    popcount_ns: f64,
+}
+
+impl CountingRow {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.popcount_ns
+    }
+}
+
+/// The schoolbook `u64` triple loop the popcount kernel is measured
+/// against.
+fn counting_scalar(a: &IntMatrix, b: &IntMatrix) -> IntMatrix {
+    let d = a.rows();
+    let mut out = IntMatrix::zeros(d, d);
+    for i in 0..d {
+        for j in 0..d {
+            let mut acc = 0u64;
+            for k in 0..d {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn bench_counting(d: usize, budget_ms: u64, max_reps: u32, rng: &mut ChaCha8Rng) -> CountingRow {
+    let a_bits = random_matrix(rng, d);
+    let b_bits = random_matrix(rng, d);
+    let a = IntMatrix::from_bitmatrix(&a_bits);
+    let b = IntMatrix::from_bitmatrix(&b_bits);
+
+    // Correctness gate: the dispatching kernel (AND+popcount for 0/1
+    // operands) must agree with the triple loop before anything is timed.
+    assert_eq!(
+        a.mul_counting(&b),
+        counting_scalar(&a, &b),
+        "counting kernel disagrees with the scalar oracle at d={d}"
+    );
+
+    CountingRow {
+        d,
+        scalar_ns: time_ns(budget_ms, max_reps, || {
+            black_box(counting_scalar(black_box(&a), black_box(&b)));
+        }),
+        popcount_ns: time_ns(budget_ms, max_reps, || {
+            black_box(black_box(&a).mul_counting(black_box(&b)));
+        }),
+    }
+}
+
 struct CircuitRow {
     assignments: usize,
     sequential_ns: f64,
@@ -170,6 +228,13 @@ fn main() {
             bench_matmul(d, budget_ms, max_reps, &mut rng)
         })
         .collect();
+    let counting_rows: Vec<CountingRow> = [64usize, 128, 256]
+        .iter()
+        .map(|&d| {
+            eprintln!("benchmarking counting matmul d={d} …");
+            bench_counting(d, budget_ms, max_reps, &mut rng)
+        })
+        .collect();
     eprintln!("benchmarking circuit eval (Strassen d=8, 64 lanes) …");
     let circuit_row = bench_circuit_eval(budget_ms, max_reps, &mut rng);
 
@@ -194,6 +259,18 @@ fn main() {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"matmul_counting\": [\n");
+    for (i, row) in counting_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"d\": {}, \"scalar_ns\": {:.0}, \"popcount_ns\": {:.0}, \"speedup_popcount_vs_scalar\": {:.1}}}{}\n",
+            row.d,
+            row.scalar_ns,
+            row.popcount_ns,
+            row.speedup(),
+            if i + 1 < counting_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"circuit_evaluate_batch\": {{\"circuit\": \"strassen_d8\", \"assignments\": {}, \"sequential_ns\": {:.0}, \"batch_ns\": {:.0}, \"speedup_batch_vs_sequential\": {:.1}}}\n",
         circuit_row.assignments,
@@ -205,12 +282,17 @@ fn main() {
     print!("{out}");
 
     let d256 = matmul_rows.iter().find(|r| r.d == 256).expect("d=256 row");
+    let c256 = counting_rows
+        .iter()
+        .find(|r| r.d == 256)
+        .expect("d=256 row");
     eprintln!(
-        "packed matmul speedup at d=256: {:.1}x; evaluate_batch speedup: {:.1}x",
+        "packed matmul speedup at d=256: {:.1}x; counting popcount speedup: {:.1}x; evaluate_batch speedup: {:.1}x",
         d256.speedup(),
+        c256.speedup(),
         circuit_row.speedup()
     );
-    if !smoke && (d256.speedup() < 10.0 || circuit_row.speedup() < 10.0) {
+    if !smoke && (d256.speedup() < 10.0 || c256.speedup() < 10.0 || circuit_row.speedup() < 10.0) {
         eprintln!("error: expected >= 10x speedups in the full baseline run");
         std::process::exit(1);
     }

@@ -2,6 +2,9 @@
 //! per-experiment index). Each returns an [`ExperimentTable`] with the
 //! measured quantities next to what the corresponding theorem predicts.
 
+use clique_core::algebraic::{
+    compute_apsp, count_triangles, semiring_matmul, ApspProtocol, Semiring, SemiringMatrix,
+};
 use clique_core::circuits::builders;
 use clique_core::circuits::Circuit;
 use clique_core::comm::counting;
@@ -17,6 +20,7 @@ use clique_core::lower_bounds::{
 use clique_core::routing::{
     BalancedRouter, DirectRouter, RouteProtocol, Router, RoutingDemand, ValiantRouter,
 };
+use clique_core::sim::linalg::IntMatrix;
 use clique_core::sim::prelude::*;
 use clique_core::sketch::reconstruct::message_bits;
 use clique_core::subgraph::{detect_subgraph_turan, SketchReconstruction};
@@ -661,6 +665,133 @@ pub fn e12_sketch_reconstruction(scale: Scale) -> ExperimentTable {
     table
 }
 
+/// E13 — the algebraic follow-up line (Censor-Hillel et al. / Le Gall):
+/// the 3D-partitioned distributed semiring matrix product and its
+/// consumers.
+pub fn e13_semiring_matmul(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E13",
+        "O(n^{1/3})-round semiring matrix product and consumers (algebraic congested clique)",
+        "the 3D-partitioned distributed product costs Õ(n^{1/3}/b) rounds for d = n: rounds·b/n^{1/3} stays within logarithmic drift across the grid (entry widths and packet framing contribute the log factors); TriangleCount reproduces iso::triangles exactly; repeated (min,+) squaring yields BFS distances",
+        &[
+            "what", "n", "b", "detail", "rounds", "total bits", "n^{1/3}/b",
+            "rounds·b/n^{1/3}", "correct",
+        ],
+    );
+
+    // The (n, b) grid: d = n, one player per matrix row.
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[27],
+        Scale::Full => &[8, 27, 64, 125],
+    };
+    let bandwidths: &[usize] = match scale {
+        Scale::Quick => &[4],
+        Scale::Full => &[1, 4, 8],
+    };
+    for &n in sizes {
+        let mut r = rng(1300 + n as u64);
+        let graph = generators::erdos_renyi(n, 0.4, &mut r);
+        let adjacency_bits = graph.adjacency_bitmatrix();
+        let adjacency_ints = IntMatrix::from_bitmatrix(&adjacency_bits);
+        let hop_matrix = ApspProtocol::hop_matrix(&graph);
+        let operands: Vec<(Semiring, SemiringMatrix)> = vec![
+            (Semiring::Boolean, SemiringMatrix::Bits(adjacency_bits)),
+            (Semiring::Counting, SemiringMatrix::Ints(adjacency_ints)),
+            (Semiring::MinPlus, SemiringMatrix::Ints(hop_matrix)),
+        ];
+        for &b in bandwidths {
+            for (semiring, operand) in &operands {
+                let outcome = semiring_matmul(operand, operand, *semiring, b).unwrap();
+                let expected = match (semiring, operand) {
+                    (Semiring::Boolean, SemiringMatrix::Bits(m)) => {
+                        SemiringMatrix::Bits(m.mul_bool(m))
+                    }
+                    (Semiring::Counting, SemiringMatrix::Ints(m)) => {
+                        SemiringMatrix::Ints(m.mul_counting(m))
+                    }
+                    (Semiring::MinPlus, SemiringMatrix::Ints(m)) => {
+                        SemiringMatrix::Ints(m.mul_min_plus(m))
+                    }
+                    _ => unreachable!("operand representation fixed above"),
+                };
+                let cbrt = (n as f64).cbrt();
+                table.push_row(vec![
+                    "SemiringMatMul A·A".to_owned(),
+                    n.to_string(),
+                    b.to_string(),
+                    semiring.name().to_owned(),
+                    outcome.rounds().to_string(),
+                    outcome.total_bits().to_string(),
+                    fmt_f64(cbrt / b as f64),
+                    fmt_f64(outcome.rounds() as f64 * b as f64 / cbrt),
+                    (*outcome == expected).to_string(),
+                ]);
+            }
+        }
+    }
+
+    // TriangleCount against the ground-truth oracle on seeded random
+    // graphs.
+    let count_sizes: &[usize] = match scale {
+        Scale::Quick => &[16],
+        Scale::Full => &[16, 32, 64],
+    };
+    for &n in count_sizes {
+        let b = log2_bandwidth(n);
+        let mut r = rng(1350 + n as u64);
+        for p in [0.15, 0.45] {
+            let g = generators::erdos_renyi(n, p, &mut r);
+            let truth = clique_core::graphs::iso::triangle_count(&g);
+            let outcome = count_triangles(&g, b).unwrap();
+            let cbrt = (n as f64).cbrt();
+            table.push_row(vec![
+                "TriangleCount trace(A³)/6".to_owned(),
+                n.to_string(),
+                b.to_string(),
+                format!("G(n, {p}), {} triangles", truth),
+                outcome.rounds().to_string(),
+                outcome.total_bits().to_string(),
+                fmt_f64(cbrt / b as f64),
+                fmt_f64(outcome.rounds() as f64 * b as f64 / cbrt),
+                (*outcome == truth).to_string(),
+            ]);
+        }
+    }
+
+    // (min, +) APSP vs BFS distances.
+    let apsp_sizes: &[usize] = match scale {
+        Scale::Quick => &[16],
+        Scale::Full => &[16, 32],
+    };
+    for &n in apsp_sizes {
+        let b = log2_bandwidth(n);
+        let mut r = rng(1370 + n as u64);
+        for (name, g) in [
+            ("path (diameter n−1)", generators::path(n)),
+            (
+                "G(n, 2/n)",
+                generators::erdos_renyi(n, 2.0 / n as f64, &mut r),
+            ),
+        ] {
+            let outcome = compute_apsp(&g, b).unwrap();
+            let correct = clique_core::graphs::iso::bfs_distances(&g) == *outcome;
+            let cbrt = (n as f64).cbrt();
+            table.push_row(vec![
+                "ApspProtocol (min,+) squaring".to_owned(),
+                n.to_string(),
+                b.to_string(),
+                name.to_owned(),
+                outcome.rounds().to_string(),
+                outcome.total_bits().to_string(),
+                fmt_f64(cbrt / b as f64),
+                fmt_f64(outcome.rounds() as f64 * b as f64 / cbrt),
+                correct.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(scale: Scale) -> Vec<ExperimentTable> {
     vec![
@@ -676,6 +807,7 @@ pub fn run_all(scale: Scale) -> Vec<ExperimentTable> {
         e10_counting(scale),
         e11_degeneracy_turan(scale),
         e12_sketch_reconstruction(scale),
+        e13_semiring_matmul(scale),
     ]
 }
 
@@ -694,6 +826,17 @@ mod tests {
             assert!(!table.rows.is_empty(), "{} produced no rows", table.id);
             assert!(table.to_markdown().contains(&table.id));
         }
+    }
+
+    #[test]
+    fn semiring_experiment_rows_are_all_correct() {
+        let table = e13_semiring_matmul(Scale::Quick);
+        let correct_col = table.headers.iter().position(|h| h == "correct").unwrap();
+        assert!(!table.rows.is_empty());
+        assert!(
+            table.rows.iter().all(|r| r[correct_col] == "true"),
+            "an E13 row disagrees with its reference"
+        );
     }
 
     #[test]

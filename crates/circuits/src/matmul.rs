@@ -45,13 +45,19 @@ impl MatMulCircuit {
     ///
     /// # Panics
     ///
-    /// Panics if the matrices do not have dimension `d × d`.
+    /// Panics if a matrix does not match the circuit dimension `d × d` —
+    /// mismatches are rejected here, up front, rather than surfacing as a
+    /// confusing failure deep inside circuit evaluation. Callers must pad
+    /// their matrices to the circuit's dimension (e.g. with
+    /// `Graph::adjacency_bitmatrix_padded`) *before* building the
+    /// assignment.
     pub fn assignment(&self, a: &BitMatrix, b: &BitMatrix) -> Vec<bool> {
         let d = self.dim;
         for (name, m) in [("A", a), ("B", b)] {
             assert!(
                 m.rows() == d && m.cols() == d,
-                "matrix {name} must be {d}×{d}, got {}×{}",
+                "matrix {name} must match the circuit dimension {d}×{d}, got {}×{} \
+                 (pad the inputs to the circuit dimension before building the assignment)",
                 m.rows(),
                 m.cols()
             );
@@ -386,11 +392,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be")]
+    #[should_panic(expected = "must match the circuit dimension")]
     fn mismatched_matrix_dimensions_panic() {
         let circuit = matmul_f2_naive(3);
         let bad = BitMatrix::zeros(3, 2);
         let good = BitMatrix::zeros(3, 3);
         let _ = circuit.multiply(&bad, &good);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the circuit dimension")]
+    fn unpadded_matrices_are_rejected_up_front() {
+        // The caller pads; a 6×6 input against a padded-to-8 circuit must
+        // fail immediately with an actionable message, not deep inside the
+        // evaluation.
+        let circuit = matmul_f2_strassen(8);
+        let unpadded = BitMatrix::zeros(6, 6);
+        let _ = circuit.assignment(&unpadded, &unpadded);
     }
 }

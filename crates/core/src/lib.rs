@@ -16,6 +16,12 @@
 //!   multiplication circuits (Section 2.1,
 //!   [`triangle::MatMulTriangleDetection`]), plus the trivial and
 //!   Dolev–Lenzen–Peled ([`triangle::DlpTriangleDetection`]) baselines;
+//! * [`algebraic`] — the `O(n^{1/3})`-round 3D-partitioned distributed
+//!   semiring matrix product ([`algebraic::SemiringMatMul`]; Censor-Hillel
+//!   et al. / Le Gall, the algebraic follow-up line Section 2.1 opened) and
+//!   its consumers: exact triangle counting
+//!   ([`algebraic::TriangleCount`]) and `(min, +)` all-pairs shortest paths
+//!   ([`algebraic::ApspProtocol`]);
 //! * [`subgraph`] — the Becker et al. reconstruction protocol `A(G, k)`
 //!   ([`subgraph::SketchReconstruction`]) and the Theorem 7 upper bound
 //!   driven by Turán numbers ([`subgraph::TuranSketchDetection`]);
@@ -57,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod algebraic;
 pub mod circuit_sim;
 pub mod lower_bounds;
 pub mod outcome;
@@ -83,6 +90,10 @@ pub use clique_routing as routing;
 pub use clique_comm as comm;
 
 pub use adaptive::{detect_subgraph_adaptive, AdaptiveDetection, AdaptiveOutput, AdaptiveRun};
+pub use algebraic::{
+    compute_apsp, count_triangles, semiring_matmul, ApspProtocol, Semiring, SemiringMatMul,
+    SemiringMatrix, TriangleCount,
+};
 pub use circuit_sim::{
     plan_simulation, simulate_circuit, CircuitSimulation, InputPartition, SimulationPlan,
 };

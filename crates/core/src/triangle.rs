@@ -37,11 +37,30 @@ pub enum MatMulStrategy {
 }
 
 impl MatMulStrategy {
-    /// Builds the circuit for the given (padded) dimension.
+    /// The circuit dimension the strategy needs for an `n × n` input — the
+    /// *single* place padding is decided (Strassen rounds up to a power of
+    /// two, the naive circuit takes any dimension). Pad the input matrices
+    /// to this dimension and pass it unchanged to [`Self::circuit`].
+    pub fn padded_dim(&self, n: usize) -> usize {
+        match self {
+            MatMulStrategy::Naive => n,
+            MatMulStrategy::Strassen => n.next_power_of_two(),
+        }
+    }
+
+    /// Builds the circuit for the given dimension, which must already be
+    /// padded via [`Self::padded_dim`]. No further padding happens here, so
+    /// the circuit dimension always agrees with matrices padded by the
+    /// caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`MatMulStrategy::Strassen`] if `dim` is not a power of
+    /// two (i.e. was not produced by [`Self::padded_dim`]).
     pub fn circuit(&self, dim: usize) -> MatMulCircuit {
         match self {
             MatMulStrategy::Naive => matmul_f2_naive(dim),
-            MatMulStrategy::Strassen => matmul_f2_strassen(dim.next_power_of_two()),
+            MatMulStrategy::Strassen => matmul_f2_strassen(dim),
         }
     }
 
@@ -108,12 +127,9 @@ impl<R: Rng + ?Sized> Protocol for MatMulTriangleDetection<'_, R> {
         let n = self.graph.vertex_count();
         session.require_clique_of(n);
 
-        let dim = match self.strategy {
-            MatMulStrategy::Naive => n,
-            MatMulStrategy::Strassen => n.next_power_of_two(),
-        };
+        let dim = self.strategy.padded_dim(n);
         let mm = self.strategy.circuit(dim);
-        let adjacency = padded_adjacency(self.graph, dim);
+        let adjacency = self.graph.adjacency_bitmatrix_padded(dim);
 
         let mut found_edge: Option<(usize, usize)> = None;
 
@@ -304,8 +320,12 @@ impl Protocol for DlpTriangleDetection<'_> {
         }
         let delivered = BalancedRouter.route(&demand, session)?;
 
-        // Checkers look for a triangle inside their triple.
+        // Checkers look for a triangle inside their triple. Every checker
+        // derives its own flag from its local view only — no checker may
+        // use another checker's discovery before the announcement phase
+        // below (the "no out-of-band communication" convention).
         let mut witness: Option<Vec<usize>> = None;
+        let mut local_hit = vec![false; n];
         for (checker, &(a, b, c)) in triples.iter().enumerate() {
             let relevant: Vec<usize> = (0..n)
                 .filter(|&v| [a, b, c].contains(&group_of(v)))
@@ -334,16 +354,19 @@ impl Protocol for DlpTriangleDetection<'_> {
                 }
             }
             if let Some(t) = clique_graphs::iso::triangles(&local).first() {
-                witness = Some(vec![relevant[t.0], relevant[t.1], relevant[t.2]]);
-                break;
+                local_hit[checker] = true;
+                if witness.is_none() {
+                    witness = Some(vec![relevant[t.0], relevant[t.1], relevant[t.2]]);
+                }
             }
         }
 
-        // One more round: checkers announce their flags.
+        // One more round: every player announces its own locally-derived
+        // flag (still exactly 1 bit per player — non-checkers and empty
+        // checkers broadcast 0).
         let mut flag_outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
         for (i, out) in flag_outs.iter_mut().enumerate() {
-            let hit = witness.is_some() && i == 0;
-            out.broadcast(BitString::from_bits(u64::from(hit), 1));
+            out.broadcast(BitString::from_bits(u64::from(local_hit[i]), 1));
         }
         session.exchange("announce detection flags", flag_outs)?;
 
@@ -367,22 +390,6 @@ pub fn detect_triangle_dlp(graph: &Graph, bandwidth: usize) -> Result<DetectionO
     let n = graph.vertex_count();
     assert!(n > 0, "the input graph must have at least one node");
     Runner::new(CliqueConfig::unicast(n, bandwidth)).execute(&mut DlpTriangleDetection::new(graph))
-}
-
-/// The packed adjacency matrix padded with zero rows/columns to `dim × dim`.
-fn padded_adjacency(graph: &Graph, dim: usize) -> BitMatrix {
-    let n = graph.vertex_count();
-    // dim < n would set bits past `cols`, breaking the BitMatrix invariant
-    // that padding bits are zero (which the packed kernels rely on).
-    assert!(dim >= n, "padding dimension {dim} below vertex count {n}");
-    let mut m = BitMatrix::zeros(dim, dim);
-    for u in 0..n {
-        let row = m.row_words_mut(u);
-        for &v in graph.neighbors(u) {
-            row[v / 64] |= 1u64 << (v % 64);
-        }
-    }
-    m
 }
 
 #[cfg(test)]
@@ -465,5 +472,78 @@ mod tests {
         let g = generators::complete_bipartite(10, 10);
         let outcome = detect_triangle_dlp(&g, 8).unwrap();
         assert!(!outcome.contains);
+    }
+
+    #[test]
+    fn strategies_pad_in_exactly_one_place() {
+        // `padded_dim` is the single padding decision; `circuit` must not
+        // pad again, so the circuit dimension always equals the dimension
+        // the caller padded its matrices to.
+        assert_eq!(MatMulStrategy::Naive.padded_dim(6), 6);
+        assert_eq!(MatMulStrategy::Strassen.padded_dim(6), 8);
+        assert_eq!(MatMulStrategy::Strassen.padded_dim(8), 8);
+        for (strategy, n) in [
+            (MatMulStrategy::Naive, 5),
+            (MatMulStrategy::Naive, 8),
+            (MatMulStrategy::Strassen, 5),
+            (MatMulStrategy::Strassen, 8),
+        ] {
+            let dim = strategy.padded_dim(n);
+            assert_eq!(strategy.circuit(dim).dim, dim, "{} n={n}", strategy.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn strassen_circuit_rejects_unpadded_dimensions() {
+        // The old code silently re-padded here, building a circuit whose
+        // dimension disagreed with the caller's matrices.
+        let _ = MatMulStrategy::Strassen.circuit(6);
+    }
+
+    #[test]
+    fn detection_at_degenerate_sizes_matches_ground_truth() {
+        // n ∈ {1, 2, 3}: padding dims exceed n for Strassen (dim 1, 2, 4),
+        // exercising the dim > n zero-padding path end to end.
+        let instances: Vec<Graph> = vec![
+            Graph::empty(1),
+            Graph::empty(2),
+            Graph::from_edges(2, &[(0, 1)]),
+            Graph::from_edges(3, &[(0, 1), (1, 2)]),
+            generators::complete(3),
+        ];
+        for (idx, g) in instances.iter().enumerate() {
+            let truth = has_triangle(g);
+            let dlp = detect_triangle_dlp(g, 2).unwrap();
+            assert_eq!(dlp.contains, truth, "dlp on instance {idx}");
+            check_witness(g, &dlp);
+            for strategy in [MatMulStrategy::Naive, MatMulStrategy::Strassen] {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xDE6 + idx as u64);
+                let outcome = detect_triangle_via_matmul(g, 4, strategy, 6, &mut rng).unwrap();
+                assert_eq!(
+                    outcome.contains,
+                    truth,
+                    "{} on instance {idx}",
+                    strategy.name()
+                );
+                check_witness(g, &outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn dlp_flags_are_locally_derived() {
+        // A triangle sitting entirely inside a later checker's triple: with
+        // the old out-of-band bug player 0 would announce a detection it
+        // could not have derived locally. The protocol must still detect the
+        // triangle (the responsible checker raises its own flag), and the
+        // announcement phase stays exactly one bit per player.
+        let mut r = ChaCha8Rng::seed_from_u64(0xF1A6);
+        for trial in 0..8 {
+            let g = generators::erdos_renyi(27, 0.12 + 0.04 * f64::from(trial), &mut r);
+            let outcome = detect_triangle_dlp(&g, 4).unwrap();
+            assert_eq!(outcome.contains, has_triangle(&g), "trial {trial}");
+            check_witness(&g, &outcome);
+        }
     }
 }

@@ -211,31 +211,27 @@ impl Graph {
         g
     }
 
-    /// The adjacency row of `u` as booleans.
+    /// The packed adjacency matrix padded with zero rows and columns to
+    /// `dim × dim` — the form the matrix-multiplication pipelines consume
+    /// (e.g. Strassen circuits need power-of-two dimensions). Padding never
+    /// sets bits at or past column `dim`, preserving the [`BitMatrix`]
+    /// invariant the word-parallel kernels rely on.
     ///
     /// # Panics
     ///
-    /// Panics if `u` is out of range.
-    #[deprecated(since = "0.1.0", note = "use `adjacency_row_bits` (packed) instead")]
-    pub fn adjacency_row(&self, u: usize) -> Vec<bool> {
-        self.adjacency_row_bits(u).to_bools()
-    }
-
-    /// The full adjacency matrix as booleans.
-    #[deprecated(since = "0.1.0", note = "use `adjacency_bitmatrix` (packed) instead")]
-    pub fn adjacency_matrix(&self) -> Vec<Vec<bool>> {
-        self.adjacency_bitmatrix().to_rows()
-    }
-
-    /// Builds a graph on `rows.len()` vertices from a symmetric boolean
-    /// adjacency matrix. The matrix is symmetrised by OR-ing `(u,v)` and
-    /// `(v,u)`; the diagonal is ignored.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `from_adjacency_bitmatrix` (packed) instead"
-    )]
-    pub fn from_adjacency_matrix(rows: &[Vec<bool>]) -> Self {
-        Self::from_adjacency_bitmatrix(&BitMatrix::from_rows(rows))
+    /// Panics if `dim` is below the vertex count (shrinking would drop
+    /// edges).
+    pub fn adjacency_bitmatrix_padded(&self, dim: usize) -> BitMatrix {
+        let n = self.vertex_count();
+        assert!(dim >= n, "padding dimension {dim} below vertex count {n}");
+        let mut m = BitMatrix::zeros(dim, dim);
+        for (u, neighbors) in self.adj.iter().enumerate() {
+            let row = m.row_words_mut(u);
+            for &v in neighbors {
+                row[v / 64] |= 1u64 << (v % 64);
+            }
+        }
+        m
     }
 
     /// The subgraph induced by `vertices`, relabelled to `0..vertices.len()`
@@ -442,12 +438,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_bool_accessors_still_round_trip() {
-        let g = Graph::from_edges(5, &[(0, 4), (1, 2), (2, 3)]);
-        let rows = g.adjacency_matrix();
-        assert_eq!(Graph::from_adjacency_matrix(&rows), g);
-        assert_eq!(g.adjacency_row(2), rows[2]);
+    fn padded_adjacency_extends_with_zero_rows_and_columns() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let m = g.adjacency_bitmatrix_padded(70);
+        assert_eq!((m.rows(), m.cols()), (70, 70));
+        assert_eq!(m.count_ones(), 2 * g.edge_count());
+        // The top-left block equals the unpadded adjacency matrix; padding
+        // rows and columns stay empty.
+        assert_eq!(m.submatrix(0, 0, 3, 3), g.adjacency_bitmatrix());
+        for i in 3..70 {
+            assert!(m.row_words(i).iter().all(|&w| w == 0));
+        }
+        // Padding a graph to its own size is the identity.
+        assert_eq!(g.adjacency_bitmatrix_padded(3), g.adjacency_bitmatrix());
+    }
+
+    #[test]
+    #[should_panic(expected = "below vertex count")]
+    fn padded_adjacency_rejects_shrinking() {
+        let _ = Graph::from_edges(4, &[(0, 1)]).adjacency_bitmatrix_padded(3);
     }
 
     #[test]

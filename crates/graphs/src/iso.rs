@@ -8,6 +8,7 @@
 //! ground-truth oracle in tests and experiments.
 
 use crate::graph::Graph;
+use clique_sim::linalg::IntMatrix;
 
 /// Returns `true` if `host` contains a subgraph isomorphic to `pattern`.
 ///
@@ -108,6 +109,28 @@ pub fn has_triangle(graph: &Graph) -> bool {
         }
     }
     false
+}
+
+/// All-pairs BFS distances, with [`IntMatrix::INFINITY`] for unreachable
+/// pairs — the ground-truth oracle the `(min, +)` distance-product
+/// protocols are checked against.
+pub fn bfs_distances(graph: &Graph) -> IntMatrix {
+    let n = graph.vertex_count();
+    let mut out = IntMatrix::filled(n, n, IntMatrix::INFINITY);
+    for s in 0..n {
+        let mut queue = std::collections::VecDeque::from([s]);
+        out.set(s, s, 0);
+        while let Some(u) = queue.pop_front() {
+            let du = out.get(s, u);
+            for &v in graph.neighbors(u) {
+                if out.get(s, v) == IntMatrix::INFINITY {
+                    out.set(s, v, du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Orders pattern vertices so that each vertex (after the first) is adjacent
@@ -321,6 +344,18 @@ mod tests {
         assert!(contains_subgraph(&host, &two_edges));
         let host_single = generators::perfect_matching(1);
         assert!(!contains_subgraph(&host_single, &two_edges));
+    }
+
+    #[test]
+    fn bfs_distances_handle_disconnection_and_paths() {
+        // A path 0–1–2 plus an isolated vertex 3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        let d = bfs_distances(&g);
+        assert_eq!(d.get(0, 2), 2);
+        assert_eq!(d.get(2, 0), 2);
+        assert_eq!(d.get(1, 1), 0);
+        assert_eq!(d.get(0, 3), IntMatrix::INFINITY);
+        assert_eq!(d.get(3, 3), 0);
     }
 
     #[test]

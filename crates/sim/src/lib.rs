@@ -70,7 +70,7 @@ pub mod session;
 pub mod prelude {
     pub use crate::bits::{bits_for_universe, BitReader, BitString};
     pub use crate::engine::RoundEngine;
-    pub use crate::linalg::BitMatrix;
+    pub use crate::linalg::{BitMatrix, IntMatrix};
     pub use crate::metrics::{Metrics, PhaseRecord, RunReport};
     pub use crate::model::{
         AdjacencyTopology, CliqueConfig, CliqueConfigBuilder, CommMode, SimError, Topology,

@@ -6,6 +6,7 @@
 //! subgraph-isomorphism oracle, Behrend sets, and the lower-bound gadget
 //! semantics of Observation 11.
 
+use congested_clique::algebraic::{semiring_matmul, Semiring, SemiringMatrix};
 use congested_clique::circuits::matmul::{matmul_f2_reference, matmul_f2_scalar};
 use congested_clique::circuits::{builders, BitMatrix, Circuit, GateKind};
 use congested_clique::comm::disjointness::DisjointnessInstance;
@@ -16,8 +17,8 @@ use congested_clique::graphs::{generators, iso, Graph, Pattern};
 use congested_clique::sim::prelude::*;
 use congested_clique::sketch::reconstruct::reconstruct;
 use congested_clique::subgraph::detect_subgraph_turan;
-use congested_clique::triangle::detect_triangle_dlp;
-use congested_clique::{simulate_circuit, InputPartition};
+use congested_clique::triangle::{detect_triangle_dlp, detect_triangle_via_matmul, MatMulStrategy};
+use congested_clique::{count_triangles, simulate_circuit, InputPartition};
 use proptest::prelude::*;
 use rand::Rng as _;
 use rand::SeedableRng;
@@ -27,6 +28,19 @@ use rand_chacha::ChaCha8Rng;
 fn seeded_graph(n: usize, p: f64, seed: u64) -> Graph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     generators::erdos_renyi(n, p, &mut rng)
+}
+
+/// Asserts the packed-kernel invariant: no bits at or past column `cols` in
+/// the last word of any row.
+fn assert_no_padding_bits(m: &BitMatrix) {
+    let rem = m.cols() % 64;
+    if rem == 0 {
+        return;
+    }
+    for i in 0..m.rows() {
+        let last = *m.row_words(i).last().expect("cols > 0 implies a word");
+        assert_eq!(last >> rem, 0, "row {i} has bits past cols");
+    }
 }
 
 proptest! {
@@ -146,6 +160,99 @@ proptest! {
             prop_assert_eq!(row.len(), n);
             prop_assert_eq!(row, m.row_bits(u));
         }
+    }
+
+    #[test]
+    fn mask_columns_never_sets_bits_past_cols(
+        rows in 1usize..12,
+        cols in 1usize..150,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = BitMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, rng.gen_bool(0.5));
+            }
+        }
+        let mask: Vec<bool> = (0..cols).map(|_| rng.gen_bool(0.5)).collect();
+        let masked = m.mask_columns(&mask);
+        assert_no_padding_bits(&masked);
+        for i in 0..rows {
+            for (j, &keep) in mask.iter().enumerate() {
+                prop_assert_eq!(masked.get(i, j), m.get(i, j) && keep);
+            }
+        }
+    }
+
+    #[test]
+    fn padded_adjacency_never_sets_bits_past_cols(
+        n in 1usize..70,
+        pad in 0usize..80,
+        p in 0.0f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        let g = seeded_graph(n, p, seed);
+        let dim = n + pad;
+        let padded = g.adjacency_bitmatrix_padded(dim);
+        prop_assert_eq!((padded.rows(), padded.cols()), (dim, dim));
+        assert_no_padding_bits(&padded);
+        // Padding adds no edges: the set-bit count is exactly 2m, and all
+        // bits sit inside the top-left n×n block.
+        prop_assert_eq!(padded.count_ones(), 2 * g.edge_count());
+        prop_assert_eq!(padded.submatrix(0, 0, n, n), g.adjacency_bitmatrix());
+    }
+
+    #[test]
+    fn triangle_detection_at_degenerate_sizes_matches_the_oracle(
+        n in 1usize..6,
+        p in 0.0f64..1.0,
+        seed in 0u64..400,
+    ) {
+        // n ∈ {1, …, 5} drives the dim > n Strassen padding path (dim ∈
+        // {1, 2, 4, 8}) and the tiny-group DLP path.
+        let g = seeded_graph(n, p, seed);
+        let truth = iso::has_triangle(&g);
+        let dlp = detect_triangle_dlp(&g, 2).expect("dlp failed");
+        prop_assert_eq!(dlp.contains, truth, "dlp at n = {}", n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDE6E);
+        for strategy in [MatMulStrategy::Naive, MatMulStrategy::Strassen] {
+            let outcome = detect_triangle_via_matmul(&g, 4, strategy, 6, &mut rng)
+                .expect("matmul detection failed");
+            prop_assert_eq!(outcome.contains, truth, "{} at n = {}", strategy.name(), n);
+        }
+    }
+
+    #[test]
+    fn distributed_semiring_product_matches_local_kernel(
+        d in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<bool>> = (0..d)
+            .map(|_| (0..d).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let a = SemiringMatrix::Bits(BitMatrix::from_rows(&rows));
+        let b = {
+            let rows: Vec<Vec<bool>> = (0..d)
+                .map(|_| (0..d).map(|_| rng.gen_bool(0.5)).collect())
+                .collect();
+            SemiringMatrix::Bits(BitMatrix::from_rows(&rows))
+        };
+        let outcome = semiring_matmul(&a, &b, Semiring::Boolean, 3).expect("protocol failed");
+        let expected = a.as_bits().unwrap().mul_bool(b.as_bits().unwrap());
+        prop_assert_eq!(outcome.as_bits().unwrap(), &expected);
+    }
+
+    #[test]
+    fn distributed_triangle_count_matches_the_oracle(
+        n in 3usize..22,
+        p in 0.0f64..0.7,
+        seed in 0u64..1000,
+    ) {
+        let g = seeded_graph(n, p, seed);
+        let outcome = count_triangles(&g, 4).expect("protocol failed");
+        prop_assert_eq!(*outcome, iso::triangle_count(&g));
     }
 
     #[test]
