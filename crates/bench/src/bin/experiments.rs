@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E13) of EXPERIMENTS.md.
+//! Regenerates every experiment table (E1–E14) of EXPERIMENTS.md.
 //!
 //! Usage:
 //!
@@ -7,25 +7,42 @@
 //! cargo run -p clique-bench --release --bin experiments -- --quick # smoke run
 //! cargo run -p clique-bench --release --bin experiments -- E4 E7   # selected experiments
 //! cargo run -p clique-bench --release --bin experiments -- --json  # machine-readable output
+//! cargo run -p clique-bench --release --bin experiments -- --threads 4 # worker pool size
 //! ```
 
 use std::time::Instant;
 
 use clique_bench::experiments;
-use clique_bench::{ExperimentTable, Scale};
+use clique_bench::{parse_threads_flag, ExperimentTable, Scale};
+use clique_core::sim::par;
 
 /// One experiment: its id and the function regenerating its table.
 type Experiment = (&'static str, fn(Scale) -> ExperimentTable);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_uppercase())
-        .collect();
+    let mut quick = false;
+    let mut json = false;
+    let mut threads: Option<usize> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--threads" => {
+                threads = Some(parse_threads_flag(args.get(i + 1)));
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag} (expected --quick, --json or --threads N)");
+                std::process::exit(2);
+            }
+            id => selected.push(id.to_uppercase()),
+        }
+        i += 1;
+    }
+    par::set_threads(threads);
     let scale = if quick { Scale::Quick } else { Scale::Full };
 
     let all: Vec<Experiment> = vec![
@@ -42,14 +59,9 @@ fn main() {
         ("E11", experiments::e11_degeneracy_turan),
         ("E12", experiments::e12_sketch_reconstruction),
         ("E13", experiments::e13_semiring_matmul),
+        ("E14", experiments::e14_parallel_scaling),
     ];
 
-    for flag in args.iter().filter(|a| a.starts_with("--")) {
-        if flag != "--quick" && flag != "--json" {
-            eprintln!("error: unknown flag {flag} (expected --quick or --json)");
-            std::process::exit(2);
-        }
-    }
     let known: Vec<&str> = all.iter().map(|(id, _)| *id).collect();
     for sel in &selected {
         if !known.contains(&sel.as_str()) {

@@ -12,23 +12,33 @@
 //!   AND+popcount path against the schoolbook `u64` triple loop, at the
 //!   same dimensions;
 //! * 64-assignment bit-sliced `Circuit::evaluate_batch` against 64
-//!   sequential `Circuit::evaluate` calls on the Strassen `d = 8` circuit.
+//!   sequential `Circuit::evaluate` calls on the Strassen `d = 8` circuit;
+//! * the row-blocked *threaded* counting product against its own
+//!   single-worker path, at the worker count of the pool (`--threads N`
+//!   overrides; the row is honest about `host_parallelism`, so a 1-core
+//!   host reports ~1x while the cross-check still proves the parallel path
+//!   correct).
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p clique-bench --release --bin kernels > BENCH_kernels.json
-//! cargo run -p clique-bench --release --bin kernels -- --smoke   # CI smoke
+//! cargo run -p clique-bench --release --bin kernels -- --smoke      # CI smoke
+//! cargo run -p clique-bench --release --bin kernels -- --threads 8  # pool size
 //! ```
 //!
 //! Every timed result is cross-checked against the scalar oracle before it
-//! is reported; a mismatch aborts the run.
+//! is reported; a mismatch aborts the run. The smoke run additionally
+//! asserts that the threaded path really executed with at least two
+//! workers.
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use clique_bench::parse_threads_flag;
 use clique_core::circuits::matmul::{matmul_f2_scalar, matmul_f2_strassen};
-use clique_core::sim::linalg::{BitMatrix, IntMatrix};
+use clique_core::sim::linalg::{BitMatrix, IntMatrix, PAR_MIN_ROWS};
+use clique_core::sim::par;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -95,7 +105,9 @@ fn bench_matmul(d: usize, budget_ms: u64, max_reps: u32, rng: &mut ChaCha8Rng) -
             black_box(matmul_f2_scalar(black_box(&a_rows), black_box(&b_rows)));
         }),
         packed_ns: time_ns(budget_ms, max_reps, || {
-            black_box(black_box(&a).mul_f2(black_box(&b)));
+            // One worker: this row isolates packing; threading is measured
+            // by the matmul_counting_parallel rows.
+            black_box(black_box(&a).mul_f2_with_threads(black_box(&b), 1));
         }),
         word_ns: time_ns(budget_ms, max_reps, || {
             black_box(black_box(&a).mul_f2_word(black_box(&b)));
@@ -155,7 +167,58 @@ fn bench_counting(d: usize, budget_ms: u64, max_reps: u32, rng: &mut ChaCha8Rng)
             black_box(counting_scalar(black_box(&a), black_box(&b)));
         }),
         popcount_ns: time_ns(budget_ms, max_reps, || {
-            black_box(black_box(&a).mul_counting(black_box(&b)));
+            // One worker: this row isolates the popcount kernel; threading
+            // is measured by the matmul_counting_parallel rows.
+            black_box(black_box(&a).mul_counting_with_threads(black_box(&b), 1));
+        }),
+    }
+}
+
+struct ParallelRow {
+    d: usize,
+    threads: usize,
+    serial_ns: f64,
+    parallel_ns: f64,
+}
+
+impl ParallelRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ns / self.parallel_ns
+    }
+}
+
+/// Benches the row-blocked threaded counting product (0/1 operands, so the
+/// AND+popcount kernel underneath) against its own single-worker path.
+fn bench_counting_parallel(
+    d: usize,
+    threads: usize,
+    budget_ms: u64,
+    max_reps: u32,
+    rng: &mut ChaCha8Rng,
+) -> ParallelRow {
+    assert!(
+        d >= PAR_MIN_ROWS,
+        "d={d} is below PAR_MIN_ROWS={PAR_MIN_ROWS}; the threaded path would not engage"
+    );
+    let a = IntMatrix::from_bitmatrix(&random_matrix(rng, d));
+    let b = IntMatrix::from_bitmatrix(&random_matrix(rng, d));
+
+    // Correctness gate: the parallel path must agree with the serial path
+    // bit for bit before anything is timed.
+    assert_eq!(
+        a.mul_counting_with_threads(&b, threads),
+        a.mul_counting_with_threads(&b, 1),
+        "threaded counting product disagrees with the serial path at d={d}, threads={threads}"
+    );
+
+    ParallelRow {
+        d,
+        threads,
+        serial_ns: time_ns(budget_ms, max_reps, || {
+            black_box(black_box(&a).mul_counting_with_threads(black_box(&b), 1));
+        }),
+        parallel_ns: time_ns(budget_ms, max_reps, || {
+            black_box(black_box(&a).mul_counting_with_threads(black_box(&b), threads));
         }),
     }
 }
@@ -209,13 +272,34 @@ fn bench_circuit_eval(budget_ms: u64, max_reps: u32, rng: &mut ChaCha8Rng) -> Ci
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    for arg in &args {
-        if arg != "--smoke" {
-            eprintln!("error: unknown flag {arg} (expected --smoke)");
-            std::process::exit(2);
+    let mut smoke = false;
+    let mut threads_flag: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                threads_flag = Some(parse_threads_flag(args.get(i + 1)));
+                i += 1;
+            }
+            arg => {
+                eprintln!("error: unknown flag {arg} (expected --smoke or --threads N)");
+                std::process::exit(2);
+            }
         }
+        i += 1;
     }
-    let smoke = args.iter().any(|a| a == "--smoke");
+    par::set_threads(threads_flag);
+    // The worker count the parallel rows run at: an explicit --threads is
+    // honored as given; without one, the pool default is floored at 2 so
+    // the row-blocked path is genuinely exercised even on a single-core
+    // host. Smoke mode *requires* >= 2 workers (its contract is that the
+    // threaded path ran), so --smoke --threads 1 is rejected.
+    let pool_threads = threads_flag.unwrap_or_else(|| par::threads().max(2));
+    if smoke && pool_threads < 2 {
+        eprintln!("error: --smoke asserts the threaded path; use --threads 2 or higher");
+        std::process::exit(2);
+    }
     // Smoke mode (CI) only proves the harness runs end to end; the committed
     // baseline comes from a full run.
     let (budget_ms, max_reps) = if smoke { (1, 3) } else { (300, 10_000) };
@@ -235,9 +319,17 @@ fn main() {
             bench_counting(d, budget_ms, max_reps, &mut rng)
         })
         .collect();
+    let parallel_rows: Vec<ParallelRow> = [64usize, 128, 256]
+        .iter()
+        .map(|&d| {
+            eprintln!("benchmarking threaded counting matmul d={d} ({pool_threads} workers) …");
+            bench_counting_parallel(d, pool_threads, budget_ms, max_reps, &mut rng)
+        })
+        .collect();
     eprintln!("benchmarking circuit eval (Strassen d=8, 64 lanes) …");
     let circuit_row = bench_circuit_eval(budget_ms, max_reps, &mut rng);
 
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"generated_by\": \"cargo run -p clique-bench --release --bin kernels\",\n");
@@ -245,6 +337,7 @@ fn main() {
         "  \"mode\": \"{}\",\n",
         if smoke { "smoke" } else { "full" }
     ));
+    out.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
     out.push_str("  \"matmul_f2\": [\n");
     for (i, row) in matmul_rows.iter().enumerate() {
         out.push_str(&format!(
@@ -271,6 +364,19 @@ fn main() {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"matmul_counting_parallel\": [\n");
+    for (i, row) in parallel_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"d\": {}, \"threads\": {}, \"serial_ns\": {:.0}, \"parallel_ns\": {:.0}, \"speedup_parallel_vs_serial\": {:.1}}}{}\n",
+            row.d,
+            row.threads,
+            row.serial_ns,
+            row.parallel_ns,
+            row.speedup(),
+            if i + 1 < parallel_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"circuit_evaluate_batch\": {{\"circuit\": \"strassen_d8\", \"assignments\": {}, \"sequential_ns\": {:.0}, \"batch_ns\": {:.0}, \"speedup_batch_vs_sequential\": {:.1}}}\n",
         circuit_row.assignments,
@@ -286,12 +392,25 @@ fn main() {
         .iter()
         .find(|r| r.d == 256)
         .expect("d=256 row");
+    let p256 = parallel_rows
+        .iter()
+        .find(|r| r.d == 256)
+        .expect("d=256 row");
     eprintln!(
-        "packed matmul speedup at d=256: {:.1}x; counting popcount speedup: {:.1}x; evaluate_batch speedup: {:.1}x",
+        "packed matmul speedup at d=256: {:.1}x; counting popcount speedup: {:.1}x; parallel counting speedup ({} workers on {} cores): {:.1}x; evaluate_batch speedup: {:.1}x",
         d256.speedup(),
         c256.speedup(),
+        p256.threads,
+        host_parallelism,
+        p256.speedup(),
         circuit_row.speedup()
     );
+    if smoke {
+        // The CI smoke contract — a >= 2-worker threaded run — is enforced
+        // up front (the --smoke --threads 1 rejection) and its correctness
+        // by the cross-check in `bench_counting_parallel`.
+        eprintln!("smoke: parallel path exercised with {pool_threads} workers");
+    }
     if !smoke && (d256.speedup() < 10.0 || c256.speedup() < 10.0 || circuit_row.speedup() < 10.0) {
         eprintln!("error: expected >= 10x speedups in the full baseline run");
         std::process::exit(1);

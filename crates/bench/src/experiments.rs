@@ -2,8 +2,11 @@
 //! per-experiment index). Each returns an [`ExperimentTable`] with the
 //! measured quantities next to what the corresponding theorem predicts.
 
+use std::time::Instant;
+
 use clique_core::algebraic::{
     compute_apsp, count_triangles, semiring_matmul, ApspProtocol, Semiring, SemiringMatrix,
+    TriangleCount,
 };
 use clique_core::circuits::builders;
 use clique_core::circuits::Circuit;
@@ -21,6 +24,7 @@ use clique_core::routing::{
     BalancedRouter, DirectRouter, RouteProtocol, Router, RoutingDemand, ValiantRouter,
 };
 use clique_core::sim::linalg::IntMatrix;
+use clique_core::sim::par;
 use clique_core::sim::prelude::*;
 use clique_core::sketch::reconstruct::message_bits;
 use clique_core::subgraph::{detect_subgraph_turan, SketchReconstruction};
@@ -792,6 +796,143 @@ pub fn e13_semiring_matmul(scale: Scale) -> ExperimentTable {
     table
 }
 
+/// Worker counts the E14 scaling rows are measured at.
+const E14_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Restores the process-wide worker override on drop, so a panicking E14
+/// workload cannot leak a temporary override into the rest of the process
+/// (the unit tests share it).
+struct ThreadOverrideGuard(Option<usize>);
+
+impl ThreadOverrideGuard {
+    fn save() -> Self {
+        Self(par::threads_override())
+    }
+}
+
+impl Drop for ThreadOverrideGuard {
+    fn drop(&mut self) {
+        par::set_threads(self.0);
+    }
+}
+
+/// Measures one E14 workload at 1/2/4/8 workers, pinning that the outcome
+/// (output *and* full metrics ledger) is identical to the 1-worker run and
+/// reporting the wall-clock scaling. `run` receives the worker count —
+/// workloads with a per-instance knob (e.g. [`Runner::with_threads`]) use
+/// it directly and leave the process-wide override alone.
+fn e14_scaling_rows<T: Clone + PartialEq>(
+    table: &mut ExperimentTable,
+    workload: &str,
+    n: usize,
+    b: usize,
+    mut run: impl FnMut(usize) -> RunOutcome<T>,
+) {
+    let mut baseline: Option<(RunOutcome<T>, f64)> = None;
+    for &workers in &E14_WORKER_COUNTS {
+        let start = Instant::now();
+        let outcome = run(workers);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let (base_outcome, base_ms) = baseline.get_or_insert_with(|| (outcome.clone(), ms));
+        let identical = *base_outcome == outcome;
+        table.push_row(vec![
+            workload.to_owned(),
+            n.to_string(),
+            b.to_string(),
+            workers.to_string(),
+            fmt_f64(ms),
+            fmt_f64(*base_ms / ms),
+            outcome.rounds().to_string(),
+            identical.to_string(),
+        ]);
+    }
+}
+
+/// E14 — the deterministic thread-parallel execution core: wall-clock
+/// scaling of the algebraic consumers and a parallel sweep grid, with the
+/// transcript pinned identical at every worker count.
+pub fn e14_parallel_scaling(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E14",
+        "deterministic thread-parallel execution core (wall-clock scaling)",
+        "rounds, bits and outputs are bit-identical at 1/2/4/8 workers (the parallelism-never-changes-transcripts invariant); wall-clock time scales with the host's cores — a single-core host honestly reports ~1x",
+        &[
+            "workload",
+            "n",
+            "b",
+            "workers",
+            "wall ms",
+            "speedup vs 1 worker",
+            "rounds",
+            "transcript identical",
+        ],
+    );
+
+    // TriangleCount: one counting distributed product + broadcasts. The
+    // per-runner knob sizes the pool, so no global state is touched.
+    let tri_n = scale.pick(24, 64);
+    let tri_b = log2_bandwidth(tri_n);
+    let tri_g = generators::erdos_renyi(tri_n, 0.35, &mut rng(1400 + tri_n as u64));
+    e14_scaling_rows(&mut table, "TriangleCount", tri_n, tri_b, |workers| {
+        Runner::new(CliqueConfig::unicast(tri_n, tri_b))
+            .with_threads(Some(workers))
+            .execute(&mut TriangleCount::new(&tri_g))
+            .expect("triangle count failed")
+    });
+
+    // APSP: repeated (min, +) squaring.
+    let apsp_n = scale.pick(16, 32);
+    let apsp_b = log2_bandwidth(apsp_n);
+    let apsp_g =
+        generators::erdos_renyi(apsp_n, 2.5 / apsp_n as f64, &mut rng(1410 + apsp_n as u64));
+    e14_scaling_rows(&mut table, "ApspProtocol", apsp_n, apsp_b, |workers| {
+        Runner::new(CliqueConfig::unicast(apsp_n, apsp_b))
+            .with_threads(Some(workers))
+            .execute(&mut ApspProtocol::new(&apsp_g))
+            .expect("apsp failed")
+    });
+
+    // A sweep grid of independent TriangleCount points executed on the
+    // pool via `Runner::sweep_par` (which sizes its pool from the
+    // process-wide knob — set through a drop guard so a panicking point
+    // cannot leak the override); the "outcome" folds every point's output
+    // and ledger so the identity check covers the whole grid.
+    let grid_sizes: &[usize] = scale.pick(&[8, 16][..], &[16, 32][..]);
+    let grid_bandwidths: &[usize] = &[4, 8];
+    let grid_n = *grid_sizes.last().expect("non-empty grid");
+    e14_scaling_rows(
+        &mut table,
+        "sweep_par TriangleCount grid",
+        grid_n,
+        8,
+        |workers| {
+            let _guard = ThreadOverrideGuard::save();
+            par::set_threads(Some(workers));
+            let grid = CliqueConfig::builder()
+                .unicast()
+                .grid(grid_sizes, grid_bandwidths);
+            let points = Runner::sweep_par(grid, |config| {
+                let n = config.n;
+                let g = generators::erdos_renyi(n, 0.3, &mut rng(1420 + n as u64));
+                move |session: &mut Session| session.run_protocol(&mut TriangleCount::new(&g))
+            })
+            .expect("sweep failed");
+            let mut metrics = Metrics::new();
+            let mut outputs = Vec::new();
+            for point in points {
+                metrics.absorb(&point.outcome.metrics);
+                outputs.push((
+                    point.config.n,
+                    point.config.bandwidth,
+                    point.outcome.into_output(),
+                ));
+            }
+            RunOutcome::new(outputs, metrics)
+        },
+    );
+    table
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(scale: Scale) -> Vec<ExperimentTable> {
     vec![
@@ -808,6 +949,7 @@ pub fn run_all(scale: Scale) -> Vec<ExperimentTable> {
         e11_degeneracy_turan(scale),
         e12_sketch_reconstruction(scale),
         e13_semiring_matmul(scale),
+        e14_parallel_scaling(scale),
     ]
 }
 
@@ -836,6 +978,21 @@ mod tests {
         assert!(
             table.rows.iter().all(|r| r[correct_col] == "true"),
             "an E13 row disagrees with its reference"
+        );
+    }
+
+    #[test]
+    fn parallel_scaling_transcripts_are_identical() {
+        let table = e14_parallel_scaling(Scale::Quick);
+        let col = table
+            .headers
+            .iter()
+            .position(|h| h == "transcript identical")
+            .unwrap();
+        assert!(!table.rows.is_empty());
+        assert!(
+            table.rows.iter().all(|r| r[col] == "true"),
+            "an E14 worker count changed a transcript"
         );
     }
 

@@ -2,7 +2,7 @@
 //!
 //! The paper has no numeric tables or figures (its results are theorems), so
 //! the "tables" this harness regenerates are the per-theorem experiments
-//! listed in DESIGN.md (E1–E13): every experiment runs the corresponding
+//! listed in DESIGN.md (E1–E14): every experiment runs the corresponding
 //! construction over a parameter sweep and reports the measured rounds, bits
 //! or sizes next to the bound the theorem predicts.
 //!
@@ -21,3 +21,20 @@ pub mod table;
 
 pub use experiments::{run_all, Scale};
 pub use table::ExperimentTable;
+
+/// Parses the value of a `--threads` CLI flag for the harness binaries;
+/// anything but a positive integer exits with status 2, matching the other
+/// flag errors.
+pub fn parse_threads_flag(value: Option<&String>) -> usize {
+    let Some(value) = value else {
+        eprintln!("error: --threads requires a value (a positive integer)");
+        std::process::exit(2);
+    };
+    match value.parse::<usize>() {
+        Ok(t) if t >= 1 => t,
+        _ => {
+            eprintln!("error: invalid --threads value {value} (expected a positive integer)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -35,6 +35,15 @@
 //! is derived from public quantities (the dimension and the global entry
 //! bounds of the operands), so both endpoints of every link agree on the
 //! format without extra communication.
+//!
+//! The per-node local block products run through the
+//! [`clique_sim::linalg`](crate::sim::linalg) kernels, whose dispatchers
+//! split output rows across the [`clique_sim::par`](crate::sim::par)
+//! worker pool from `PAR_MIN_ROWS` rows up; by the
+//! parallelism-never-changes-transcripts invariant (DESIGN.md,
+//! Concurrency) every round/bit count in this module — including the E13
+//! pins — is identical at any worker count. Experiment E14 measures the
+//! wall-clock side of these protocols on the pool.
 
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;

@@ -262,7 +262,9 @@ mod tests {
         assert!(!Pattern::Clique(3).is_forest());
         assert!(Pattern::CompleteBipartite(1, 4).is_forest());
         assert!(!Pattern::CompleteBipartite(2, 2).is_forest());
-        assert!(Pattern::Custom(generators::random_tree(10, &mut rand::thread_rng())).is_forest());
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x7EE5);
+        assert!(Pattern::Custom(generators::random_tree(10, &mut rng)).is_forest());
     }
 
     #[test]

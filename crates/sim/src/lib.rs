@@ -30,6 +30,14 @@
 //!   ([`session::Session::exchange`]); the accounting is identical to
 //!   chunking every long message into `b`-bit pieces.
 //!
+//! Player-local work runs on a deterministic scoped worker pool ([`par`]):
+//! the round engine steps node algorithms concurrently and merges outboxes
+//! in ascending [`node::NodeId`] order, the phase engine validates senders
+//! concurrently, and the [`linalg`] products split output rows across
+//! workers — transcripts, ledgers and outputs are bit-identical at every
+//! worker count (knob: [`par::set_threads`], `CLIQUE_THREADS`, or the
+//! per-engine `set_threads`).
+//!
 //! # Examples
 //!
 //! ```
@@ -62,6 +70,7 @@ pub mod metrics;
 pub mod model;
 pub mod node;
 pub mod outcome;
+pub mod par;
 pub mod phase;
 pub mod protocol;
 pub mod session;

@@ -20,22 +20,46 @@
 //! Boolean and counting semirings of the algebraic protocols, and
 //! [`IntMatrix`] carries the small-integer `(+, ×)` and `(min, +)` semiring
 //! operands with block extraction and transpose helpers for 3D-partitioned
-//! distributed products. Packing is a *host-side* optimisation only:
-//! protocols built on these kernels exchange exactly the same transcripts as
-//! the `Vec<Vec<bool>>` code they replaced (pinned by
+//! distributed products.
+//!
+//! From [`PAR_MIN_ROWS`] output rows the product dispatchers additionally
+//! split the output rows across the [`par`] worker pool (knob:
+//! [`par::set_threads`] / `CLIQUE_THREADS`; the `*_with_threads` variants
+//! take an explicit budget). Threading sits behind the same dispatcher seam
+//! as the Four-Russians threshold: it selects an execution strategy, never a
+//! different result. Packing and threading are *host-side* optimisations
+//! only: protocols built on these kernels exchange exactly the same
+//! transcripts as the `Vec<Vec<bool>>` code they replaced (pinned by
 //! `tests/protocol_regression.rs`).
 
 use std::fmt;
 
 use crate::bits::BitString;
+use crate::par;
 
 /// Row count from which [`BitMatrix::mul_f2`] switches to the Method of
 /// Four Russians.
 pub const FOUR_RUSSIANS_MIN_DIM: usize = 256;
 
+/// Output-row count from which the multiplication dispatchers engage the
+/// row-blocked threaded paths (below it, spawn overhead dominates). The
+/// same dispatcher seam as [`FOUR_RUSSIANS_MIN_DIM`]: both pick an
+/// implementation, never a different result.
+pub const PAR_MIN_ROWS: usize = 64;
+
 /// Rows-of-`B` block width of the Four-Russians kernel (8 bits → 256-entry
 /// tables).
 const M4R_BLOCK: usize = 8;
+
+/// Worker count for a product with `rows` output rows under a `threads`
+/// budget: 1 below [`PAR_MIN_ROWS`], else at most one worker per row.
+fn row_workers(rows: usize, threads: usize) -> usize {
+    if rows >= PAR_MIN_ROWS {
+        threads.min(rows)
+    } else {
+        1
+    }
+}
 
 /// A dense Boolean matrix with rows packed into little-endian `u64` words
 /// (column `j` of row `i` is bit `j % 64` of word `j / 64`).
@@ -269,17 +293,46 @@ impl BitMatrix {
 
     /// The matrix product over `F₂`, dispatching to the Four-Russians kernel
     /// for inner dimensions of [`FOUR_RUSSIANS_MIN_DIM`] and up and to the
-    /// plain word kernel below that.
+    /// plain word kernel below that, and — from [`PAR_MIN_ROWS`] output
+    /// rows — splitting the output rows across the
+    /// [`par::threads`] worker pool. Every path computes bit-identical
+    /// results.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn mul_f2(&self, rhs: &BitMatrix) -> BitMatrix {
-        if Self::dispatches_to_four_russians(self.cols) {
-            self.mul_f2_four_russians(rhs)
-        } else {
-            self.mul_f2_word(rhs)
+        self.mul_f2_with_threads(rhs, par::threads())
+    }
+
+    /// [`Self::mul_f2`] with an explicit worker budget (1 forces the serial
+    /// path; the result is identical at every worker count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_f2_with_threads(&self, rhs: &BitMatrix, threads: usize) -> BitMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions differ: {} vs {}",
+            self.cols, rhs.rows
+        );
+        let w = rhs.words_per_row;
+        let mut out = BitMatrix::zeros(self.rows, rhs.cols);
+        if out.data.is_empty() {
+            return out;
         }
+        let four_russians = Self::dispatches_to_four_russians(self.cols);
+        let workers = row_workers(self.rows, threads);
+        par::for_each_chunk_mut(&mut out.data, w, workers, |start, chunk| {
+            let row0 = start / w;
+            if four_russians {
+                self.mul_f2_m4r_range(rhs, row0, chunk);
+            } else {
+                self.mul_f2_word_range(rhs, row0, chunk);
+            }
+        });
+        out
     }
 
     /// Whether [`mul_f2`](Self::mul_f2) routes an inner dimension to the
@@ -300,13 +353,21 @@ impl BitMatrix {
             "inner dimensions differ: {} vs {}",
             self.cols, rhs.rows
         );
-        let w = rhs.words_per_row;
         let mut out = BitMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let (a_row, out_row) = (
-                &self.data[i * self.words_per_row..(i + 1) * self.words_per_row],
-                &mut out.data[i * w..(i + 1) * w],
-            );
+        if !out.data.is_empty() {
+            self.mul_f2_word_range(rhs, 0, &mut out.data);
+        }
+        out
+    }
+
+    /// The word kernel restricted to output rows `row0..`, writing into the
+    /// caller's (zeroed) chunk of `out.data` — the unit the threaded
+    /// dispatcher hands to each worker.
+    fn mul_f2_word_range(&self, rhs: &BitMatrix, row0: usize, out_chunk: &mut [u64]) {
+        let w = rhs.words_per_row;
+        for (r, out_row) in out_chunk.chunks_mut(w).enumerate() {
+            let i = row0 + r;
+            let a_row = &self.data[i * self.words_per_row..(i + 1) * self.words_per_row];
             for (wi, &word) in a_row.iter().enumerate() {
                 let mut bits = word;
                 while bits != 0 {
@@ -319,7 +380,6 @@ impl BitMatrix {
                 }
             }
         }
-        out
     }
 
     /// The Method-of-Four-Russians product: rows of `B` are processed in
@@ -336,11 +396,20 @@ impl BitMatrix {
             "inner dimensions differ: {} vs {}",
             self.cols, rhs.rows
         );
-        let w = rhs.words_per_row;
         let mut out = BitMatrix::zeros(self.rows, rhs.cols);
-        if self.rows == 0 || rhs.rows == 0 || w == 0 {
+        if self.rows == 0 || rhs.rows == 0 || rhs.words_per_row == 0 {
             return out;
         }
+        self.mul_f2_m4r_range(rhs, 0, &mut out.data);
+        out
+    }
+
+    /// The Four-Russians kernel restricted to output rows `row0..`. Each
+    /// worker builds its own combination table (a few KiB), so workers
+    /// share nothing mutable.
+    fn mul_f2_m4r_range(&self, rhs: &BitMatrix, row0: usize, out_chunk: &mut [u64]) {
+        let w = rhs.words_per_row;
+        let chunk_rows = out_chunk.len() / w;
         let mut table = vec![0u64; (1 << M4R_BLOCK) * w];
         for block in 0..rhs.rows.div_ceil(M4R_BLOCK) {
             let base = block * M4R_BLOCK;
@@ -355,10 +424,10 @@ impl BitMatrix {
                     table[idx * w + wi] = table[rest * w + wi] ^ rhs.data[b_row + wi];
                 }
             }
-            for i in 0..self.rows {
-                let idx = self.extract_row_bits(i, base, size) as usize;
+            for r in 0..chunk_rows {
+                let idx = self.extract_row_bits(row0 + r, base, size) as usize;
                 if idx != 0 {
-                    let out_row = &mut out.data[i * w..(i + 1) * w];
+                    let out_row = &mut out_chunk[r * w..(r + 1) * w];
                     for (o, &t) in out_row.iter_mut().zip(&table[idx * w..(idx + 1) * w]) {
                         *o ^= t;
                     }
@@ -368,7 +437,6 @@ impl BitMatrix {
             // entry in 1..1<<size by plain assignment, table[0] is never
             // written, and lookups are masked to `size` bits.
         }
-        out
     }
 
     /// The transposed matrix.
@@ -430,12 +498,24 @@ impl BitMatrix {
 
     /// The matrix product over the Boolean semiring `(∨, ∧)`: for every set
     /// bit `A[i][k]`, OR row `k` of `B` into output row `i` (64 columns per
-    /// word operation).
+    /// word operation). From [`PAR_MIN_ROWS`] output rows the rows are
+    /// split across the [`par::threads`] worker pool; results are identical
+    /// at every worker count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn mul_bool(&self, rhs: &BitMatrix) -> BitMatrix {
+        self.mul_bool_with_threads(rhs, par::threads())
+    }
+
+    /// [`Self::mul_bool`] with an explicit worker budget (1 forces the
+    /// serial path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_bool_with_threads(&self, rhs: &BitMatrix, threads: usize) -> BitMatrix {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions differ: {} vs {}",
@@ -443,11 +523,22 @@ impl BitMatrix {
         );
         let w = rhs.words_per_row;
         let mut out = BitMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let (a_row, out_row) = (
-                &self.data[i * self.words_per_row..(i + 1) * self.words_per_row],
-                &mut out.data[i * w..(i + 1) * w],
-            );
+        if out.data.is_empty() {
+            return out;
+        }
+        let workers = row_workers(self.rows, threads);
+        par::for_each_chunk_mut(&mut out.data, w, workers, |start, chunk| {
+            self.mul_bool_range(rhs, start / w, chunk);
+        });
+        out
+    }
+
+    /// The Boolean-semiring kernel restricted to output rows `row0..`.
+    fn mul_bool_range(&self, rhs: &BitMatrix, row0: usize, out_chunk: &mut [u64]) {
+        let w = rhs.words_per_row;
+        for (r, out_row) in out_chunk.chunks_mut(w).enumerate() {
+            let i = row0 + r;
+            let a_row = &self.data[i * self.words_per_row..(i + 1) * self.words_per_row];
             for (wi, &word) in a_row.iter().enumerate() {
                 let mut bits = word;
                 while bits != 0 {
@@ -460,7 +551,6 @@ impl BitMatrix {
                 }
             }
         }
-        out
     }
 
     /// The matrix product over the counting semiring `(+, ×)` of two 0/1
@@ -472,6 +562,17 @@ impl BitMatrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn popcount_product(&self, rhs: &BitMatrix) -> IntMatrix {
+        self.popcount_product_with_threads(rhs, par::threads())
+    }
+
+    /// [`Self::popcount_product`] with an explicit worker budget (1 forces
+    /// the serial path). The transpose of `rhs` is computed once and shared
+    /// read-only by all workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn popcount_product_with_threads(&self, rhs: &BitMatrix, threads: usize) -> IntMatrix {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions differ: {} vs {}",
@@ -479,18 +580,25 @@ impl BitMatrix {
         );
         let rhs_t = rhs.transpose();
         let mut out = IntMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row_words(i);
-            for j in 0..rhs_t.rows {
-                let b_col = rhs_t.row_words(j);
-                let dot: u64 = a_row
-                    .iter()
-                    .zip(b_col)
-                    .map(|(&a, &b)| u64::from((a & b).count_ones()))
-                    .sum();
-                out.data[i * rhs_t.rows + j] = dot;
-            }
+        if out.data.is_empty() {
+            return out;
         }
+        let cols = rhs.cols;
+        let workers = row_workers(self.rows, threads);
+        par::for_each_chunk_mut(&mut out.data, cols, workers, |start, chunk| {
+            let row0 = start / cols;
+            for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
+                let a_row = self.row_words(row0 + r);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_col = rhs_t.row_words(j);
+                    *o = a_row
+                        .iter()
+                        .zip(b_col)
+                        .map(|(&a, &b)| u64::from((a & b).count_ones()))
+                        .sum();
+                }
+            }
+        });
         out
     }
 
@@ -748,27 +856,46 @@ impl IntMatrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn mul_counting(&self, rhs: &IntMatrix) -> IntMatrix {
+        self.mul_counting_with_threads(rhs, par::threads())
+    }
+
+    /// [`Self::mul_counting`] with an explicit worker budget (1 forces the
+    /// serial path; output rows are split across workers from
+    /// [`PAR_MIN_ROWS`] rows up, with identical results at every count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_counting_with_threads(&self, rhs: &IntMatrix, threads: usize) -> IntMatrix {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions differ: {} vs {}",
             self.cols, rhs.rows
         );
         if self.is_binary() && rhs.is_binary() {
-            return self.to_bitmatrix().popcount_product(&rhs.to_bitmatrix());
+            return self
+                .to_bitmatrix()
+                .popcount_product_with_threads(&rhs.to_bitmatrix(), threads);
         }
         let mut out = IntMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0 {
-                    continue;
-                }
-                for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
-                    *o = saturating_counting_add(*o, a.saturating_mul(b));
+        if out.data.is_empty() {
+            return out;
+        }
+        let cols = rhs.cols;
+        let workers = row_workers(self.rows, threads);
+        par::for_each_chunk_mut(&mut out.data, cols, workers, |start, chunk| {
+            let row0 = start / cols;
+            for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
+                for (k, &a) in self.row(row0 + r).iter().enumerate() {
+                    if a == 0 {
+                        continue;
+                    }
+                    for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
+                        *o = saturating_counting_add(*o, a.saturating_mul(b));
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -780,24 +907,41 @@ impl IntMatrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn mul_min_plus(&self, rhs: &IntMatrix) -> IntMatrix {
+        self.mul_min_plus_with_threads(rhs, par::threads())
+    }
+
+    /// [`Self::mul_min_plus`] with an explicit worker budget (1 forces the
+    /// serial path; output rows are split across workers from
+    /// [`PAR_MIN_ROWS`] rows up, with identical results at every count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_min_plus_with_threads(&self, rhs: &IntMatrix, threads: usize) -> IntMatrix {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions differ: {} vs {}",
             self.cols, rhs.rows
         );
         let mut out = IntMatrix::filled(self.rows, rhs.cols, Self::INFINITY);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == Self::INFINITY {
-                    continue;
-                }
-                for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
-                    *o = (*o).min(min_plus_add(a, b));
+        if out.data.is_empty() {
+            return out;
+        }
+        let cols = rhs.cols;
+        let workers = row_workers(self.rows, threads);
+        par::for_each_chunk_mut(&mut out.data, cols, workers, |start, chunk| {
+            let row0 = start / cols;
+            for (r, out_row) in chunk.chunks_mut(cols).enumerate() {
+                for (k, &a) in self.row(row0 + r).iter().enumerate() {
+                    if a == Self::INFINITY {
+                        continue;
+                    }
+                    for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
+                        *o = (*o).min(min_plus_add(a, b));
+                    }
                 }
             }
-        }
+        });
         out
     }
 }
@@ -1169,5 +1313,57 @@ mod tests {
         let a = IntMatrix::filled(3, 3, IntMatrix::INFINITY);
         assert_eq!(a.mul_min_plus(&a), a);
         assert_eq!(a.max_finite(), 0);
+    }
+
+    #[test]
+    fn threaded_bit_products_match_serial_at_any_worker_count() {
+        // Above the PAR_MIN_ROWS seam and (for the dispatcher) on both
+        // sides of the Four-Russians threshold.
+        for d in [PAR_MIN_ROWS + 5, FOUR_RUSSIANS_MIN_DIM] {
+            let a = pseudo_random(d, d, 81);
+            let b = pseudo_random(d, d, 82);
+            let f2 = a.mul_f2_with_threads(&b, 1);
+            let or = a.mul_bool_with_threads(&b, 1);
+            let pop = a.popcount_product_with_threads(&b, 1);
+            for t in [2usize, 3, 8] {
+                assert_eq!(a.mul_f2_with_threads(&b, t), f2, "f2 d={d} t={t}");
+                assert_eq!(a.mul_bool_with_threads(&b, t), or, "bool d={d} t={t}");
+                assert_eq!(
+                    a.popcount_product_with_threads(&b, t),
+                    pop,
+                    "popcount d={d} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_int_products_match_serial_at_any_worker_count() {
+        let d = PAR_MIN_ROWS + 3;
+        // Non-binary entries force the schoolbook counting path; the hop
+        // matrix shape (0 diagonal / finite / INFINITY) covers (min, +).
+        let a = pseudo_random_ints(d, d, 5, 91);
+        let b = pseudo_random_ints(d, d, 5, 92);
+        let mut hops = pseudo_random_ints(d, d, 2, 93);
+        for i in 0..d {
+            for j in 0..d {
+                if hops.get(i, j) == 2 {
+                    hops.set(i, j, IntMatrix::INFINITY);
+                }
+            }
+        }
+        let counting = a.mul_counting_with_threads(&b, 1);
+        let binary = pseudo_random_ints(d, d, 1, 94);
+        let counting_binary = binary.mul_counting_with_threads(&binary, 1);
+        let tropical = hops.mul_min_plus_with_threads(&hops, 1);
+        for t in [2usize, 5, 8] {
+            assert_eq!(a.mul_counting_with_threads(&b, t), counting, "t={t}");
+            assert_eq!(
+                binary.mul_counting_with_threads(&binary, t),
+                counting_binary,
+                "binary t={t}"
+            );
+            assert_eq!(hops.mul_min_plus_with_threads(&hops, t), tropical, "t={t}");
+        }
     }
 }

@@ -21,6 +21,7 @@ use crate::bits::BitString;
 use crate::metrics::{Metrics, PhaseRecord};
 use crate::model::{CliqueConfig, CommMode, SimError};
 use crate::node::NodeId;
+use crate::par;
 
 /// Logical outgoing data of one node during one phase.
 #[derive(Clone, Debug, Default)]
@@ -148,8 +149,98 @@ impl PhaseInbox {
 pub struct PhaseEngine {
     config: CliqueConfig,
     metrics: Metrics,
-    /// Per-destination load scratch, reused across senders and phases.
+    /// Per-destination load scratch, reused across senders and phases on
+    /// the single-worker path.
     dest_load: Vec<u64>,
+    /// Per-engine worker-count override; `None` uses the default
+    /// resolution (see [`par::workers`]).
+    threads: Option<usize>,
+}
+
+/// Validation and load accounting of one sender's phase outbox, computed
+/// independently per sender (and therefore in parallel) and merged in
+/// ascending [`NodeId`] order.
+#[derive(Debug, Default)]
+struct SenderSummary {
+    /// Unicast model: the heaviest per-destination aggregated load this
+    /// sender puts on any link. Broadcast model: its blackboard length.
+    max_load: u64,
+    /// Payload bits this sender places on the network.
+    bits: u64,
+    /// Non-empty messages this sender places on the network.
+    messages: u64,
+    /// The first model violation in this outbox, in submission order.
+    error: Option<SimError>,
+}
+
+/// Computes one sender's [`SenderSummary`]. `dest_load` is caller-provided
+/// scratch (reset here) sized to `config.n`.
+fn summarize_outbox(
+    config: &CliqueConfig,
+    sender: NodeId,
+    out: &PhaseOutbox,
+    dest_load: &mut Vec<u64>,
+) -> SenderSummary {
+    let n = config.n;
+    dest_load.clear();
+    dest_load.resize(n, 0);
+    let mut summary = SenderSummary::default();
+
+    if let Some(msg) = &out.broadcast {
+        let len = msg.len() as u64;
+        match config.mode {
+            CommMode::Broadcast => {
+                summary.bits += len;
+                summary.max_load = summary.max_load.max(len);
+            }
+            CommMode::Unicast => {
+                // A broadcast in the unicast model occupies every outgoing
+                // link.
+                let receivers = config.topology.neighbors(sender, n);
+                summary.bits += len * receivers.len() as u64;
+                for dst in receivers {
+                    dest_load[dst.index()] += len;
+                }
+            }
+        }
+        if len > 0 {
+            summary.messages += 1;
+        }
+    }
+
+    for (dst, msg) in &out.unicasts {
+        let error = if config.mode == CommMode::Broadcast {
+            Some(SimError::UnicastInBroadcastModel { sender })
+        } else if dst.index() >= n {
+            Some(SimError::InvalidNode { node: *dst, n })
+        } else if *dst == sender {
+            Some(SimError::SelfMessage { node: sender })
+        } else if !config.topology.connected(sender, *dst) {
+            Some(SimError::NotAnEdge {
+                sender,
+                receiver: *dst,
+            })
+        } else {
+            None
+        };
+        if error.is_some() {
+            summary.error = error;
+            return summary;
+        }
+        let len = msg.len() as u64;
+        dest_load[dst.index()] += len;
+        summary.bits += len;
+        if len > 0 {
+            summary.messages += 1;
+        }
+    }
+
+    if config.mode == CommMode::Unicast {
+        if let Some(load) = dest_load.iter().copied().max() {
+            summary.max_load = summary.max_load.max(load);
+        }
+    }
+    summary
 }
 
 impl PhaseEngine {
@@ -159,7 +250,24 @@ impl PhaseEngine {
             config,
             metrics: Metrics::new(),
             dest_load: Vec::new(),
+            threads: None,
         }
+    }
+
+    /// Overrides the worker count used to validate and account phases in
+    /// parallel (`None` restores the default resolution). The ledger, the
+    /// delivered inboxes and error selection are identical at every worker
+    /// count.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+    }
+
+    /// The worker count the next phase will use: an explicit override
+    /// (per-engine, else [`par::set_threads`]) is honored as given; the
+    /// ambient default engages only from [`par::AMBIENT_MIN_ITEMS`]
+    /// players up, so small simulations skip the per-phase spawn overhead.
+    pub fn threads(&self) -> usize {
+        par::workers(self.threads, self.config.n, par::AMBIENT_MIN_ITEMS)
     }
 
     /// Consumes the engine, returning the accumulated metrics.
@@ -211,82 +319,57 @@ impl PhaseEngine {
         let n = self.config.n;
         let b = self.config.bandwidth as u64;
         assert_eq!(outs.len(), n, "expected {} outboxes, got {}", n, outs.len());
+        let workers = self.threads();
 
-        let mut inboxes: Vec<PhaseInbox> = (0..n).map(|_| PhaseInbox::empty(n)).collect();
-        // Per-link loads for round accounting. `link_load[i]` is, in the
-        // unicast model, the maximum over destinations of bits sent by `i`
-        // to that destination; in the broadcast model it is the blackboard
-        // message length of `i`.
+        // Pass 1 — validation and load accounting. Each sender's summary
+        // depends only on its own outbox and the (shared, read-only) model
+        // config, so the summaries are computed on the worker pool (with
+        // one reusable `dest_load` scratch per worker); the merge below
+        // walks them in ascending sender order, which keeps the ledger and
+        // the selected error identical at every worker count.
+        let summaries: Vec<SenderSummary> = if workers > 1 {
+            let config = &self.config;
+            par::map_with(n, workers, Vec::new, |i, dest_load| {
+                summarize_outbox(config, NodeId::new(i), &outs[i], dest_load)
+            })
+        } else {
+            let config = &self.config;
+            let dest_load = &mut self.dest_load;
+            outs.iter()
+                .enumerate()
+                .map(|(i, out)| summarize_outbox(config, NodeId::new(i), out, dest_load))
+                .collect()
+        };
+
         let mut max_load = 0u64;
         let mut total_bits = 0u64;
         let mut messages = 0u64;
+        for summary in summaries {
+            if let Some(error) = summary.error {
+                return Err(error);
+            }
+            max_load = max_load.max(summary.max_load);
+            total_bits += summary.bits;
+            messages += summary.messages;
+        }
 
+        // Pass 2 — delivery, strictly in ascending sender order (payloads
+        // are moved, broadcasts Arc-shared: one allocation per broadcast, a
+        // pointer clone per receiver).
+        let mut inboxes: Vec<PhaseInbox> = (0..n).map(|_| PhaseInbox::empty(n)).collect();
         for (i, out) in outs.into_iter().enumerate() {
             let sender = NodeId::new(i);
-            // Per-destination aggregated unicast loads for this sender
-            // (scratch reused across senders).
-            self.dest_load.clear();
-            self.dest_load.resize(n, 0);
-
             if let Some(msg) = out.broadcast {
-                let len = msg.len() as u64;
-                match self.config.mode {
-                    CommMode::Broadcast => {
-                        total_bits += len;
-                        max_load = max_load.max(len);
-                    }
-                    CommMode::Unicast => {
-                        // A broadcast in the unicast model occupies every
-                        // outgoing link.
-                        let receivers = self.config.topology.neighbors(sender, n);
-                        total_bits += len * receivers.len() as u64;
-                        for dst in receivers {
-                            self.dest_load[dst.index()] += len;
-                        }
-                    }
-                }
-                if len > 0 {
-                    messages += 1;
-                }
-                // One shared allocation, a pointer clone per receiver.
                 let shared = Arc::new(msg);
                 for dst in self.config.topology.neighbors(sender, n) {
                     inboxes[dst.index()].broadcasts[sender.index()] = Some(Arc::clone(&shared));
                 }
             }
-
             for (dst, msg) in out.unicasts {
-                if self.config.mode == CommMode::Broadcast {
-                    return Err(SimError::UnicastInBroadcastModel { sender });
-                }
-                if dst.index() >= n {
-                    return Err(SimError::InvalidNode { node: dst, n });
-                }
-                if dst == sender {
-                    return Err(SimError::SelfMessage { node: sender });
-                }
-                if !self.config.topology.connected(sender, dst) {
-                    return Err(SimError::NotAnEdge {
-                        sender,
-                        receiver: dst,
-                    });
-                }
-                let len = msg.len() as u64;
-                self.dest_load[dst.index()] += len;
-                total_bits += len;
-                if len > 0 {
-                    messages += 1;
-                }
                 let slot = &mut inboxes[dst.index()].unicasts[sender.index()];
                 match slot {
                     Some(existing) => existing.extend_from(&msg),
                     None => *slot = Some(msg),
-                }
-            }
-
-            if self.config.mode == CommMode::Unicast {
-                if let Some(load) = self.dest_load.iter().copied().max() {
-                    max_load = max_load.max(load);
                 }
             }
         }
@@ -506,5 +589,58 @@ mod tests {
     fn wrong_outbox_count_panics() {
         let mut engine = PhaseEngine::new(CliqueConfig::broadcast(3, 1));
         let _ = engine.exchange("bad", vec![PhaseOutbox::new()]);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_ledger() {
+        let n = 9;
+        let run = |threads: usize| {
+            let mut engine = PhaseEngine::new(CliqueConfig::unicast(n, 2));
+            engine.set_threads(Some(threads));
+            let outs: Vec<PhaseOutbox> = (0..n)
+                .map(|i| {
+                    let mut out = PhaseOutbox::new();
+                    out.broadcast(BitString::from_bits(i as u64, 4));
+                    out.send(NodeId::new((i + 1) % n), BitString::from_bits(1, 3));
+                    out.send(NodeId::new((i + 1) % n), BitString::from_bits(2, 2));
+                    out
+                })
+                .collect();
+            let inboxes = engine.exchange("mixed", outs).unwrap();
+            let digest: Vec<(usize, usize)> = inboxes
+                .iter()
+                .map(|inbox| (inbox.received_bits(), inbox.unicasts().count()))
+                .collect();
+            (engine.metrics().clone(), digest)
+        };
+        let baseline = run(1);
+        for threads in [2, 4, 16] {
+            assert_eq!(run(threads), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_error_selection() {
+        // Sender 1 has a self-message *after* a valid unicast; sender 4 has
+        // an invalid node. Serial order reports sender 1's error first.
+        let build = || {
+            let mut outs: Vec<PhaseOutbox> = (0..6).map(|_| PhaseOutbox::new()).collect();
+            outs[1].send(NodeId::new(0), BitString::from_bits(1, 1));
+            outs[1].send(NodeId::new(1), BitString::from_bits(1, 1));
+            outs[4].send(NodeId::new(17), BitString::from_bits(1, 1));
+            outs
+        };
+        for threads in [1usize, 2, 8] {
+            let mut engine = PhaseEngine::new(CliqueConfig::unicast(6, 2));
+            engine.set_threads(Some(threads));
+            let err = engine.exchange("bad", build()).unwrap_err();
+            assert_eq!(
+                err,
+                SimError::SelfMessage {
+                    node: NodeId::new(1)
+                },
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -506,3 +506,176 @@ impl NodeAlgorithm for ChunkedSender {
         }
     }
 }
+
+/// A pseudo-random chatterbox for the parallel-determinism pins: every node
+/// derives its traffic from `(seed, id, round)` alone, broadcasts (or
+/// unicasts a few messages) for `rounds` rounds, and folds everything it
+/// receives into a digest. Any scheduling-dependent behaviour of the
+/// parallel engine would scramble the digests or the ledger.
+struct ChatterNode {
+    seed: u64,
+    rounds: u64,
+    mode: CommMode,
+    digest: u64,
+    done: bool,
+}
+
+impl ChatterNode {
+    fn new(seed: u64, rounds: u64, mode: CommMode) -> Self {
+        Self {
+            seed,
+            rounds,
+            mode,
+            digest: 0,
+            done: false,
+        }
+    }
+
+    /// SplitMix64 over the tuple, so traffic is deterministic per (node,
+    /// round) and independent of execution order.
+    fn mix(&self, id: usize, round: u64, salt: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((id as u64) << 32)
+            .wrapping_add(round.wrapping_mul(0x9E3779B97F4A7C15))
+            .wrapping_add(salt.wrapping_mul(0xBF58476D1CE4E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl NodeAlgorithm for ChatterNode {
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &Inbox, outbox: &mut Outbox) {
+        let me = ctx.id.index();
+        for (sender, msg) in inbox.iter() {
+            let mut acc = self.digest ^ self.mix(sender.index(), ctx.round, 1);
+            for i in 0..msg.len() {
+                acc = acc.rotate_left(1) ^ u64::from(msg.bit(i));
+            }
+            self.digest = acc;
+        }
+        if ctx.round >= self.rounds {
+            self.done = true;
+            return;
+        }
+        let b = ctx.bandwidth();
+        match self.mode {
+            CommMode::Broadcast => {
+                let r = self.mix(me, ctx.round, 2);
+                let len = (r % (b as u64 + 1)) as usize;
+                let payload: BitString = (0..len).map(|i| r >> (i % 60) & 1 == 1).collect();
+                if !payload.is_empty() {
+                    outbox.broadcast(payload);
+                }
+            }
+            CommMode::Unicast => {
+                for dst in 0..ctx.n() {
+                    if dst == me {
+                        continue;
+                    }
+                    let r = self.mix(me, ctx.round, 3 + dst as u64);
+                    if r.is_multiple_of(3) {
+                        let len = (r % (b as u64 + 1)) as usize;
+                        let payload: BitString = (0..len).map(|i| r >> (i % 60) & 1 == 1).collect();
+                        outbox.send(NodeId::new(dst), payload);
+                    }
+                }
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.done
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_round_engine_is_transcript_identical(
+        n in 2usize..12,
+        b in 1usize..6,
+        rounds in 1u64..6,
+        seed in 0u64..1000,
+    ) {
+        // The determinism contract of `clique_sim::par`: the strict engine
+        // produces identical RunReports, metrics ledgers and node outputs
+        // at every worker count, in both communication modes.
+        for mode in [CommMode::Broadcast, CommMode::Unicast] {
+            let run = |threads: usize| {
+                let cfg = CliqueConfig::builder().nodes(n).bandwidth(b).mode(mode).build();
+                let mut session = Session::new(cfg);
+                session.set_threads(Some(threads));
+                let nodes = (0..n).map(|_| ChatterNode::new(seed, rounds, mode)).collect();
+                let result = session.run_nodes(nodes, rounds + 2).unwrap();
+                let digests: Vec<u64> = result.nodes.iter().map(|node| node.digest).collect();
+                (result.report, digests, session.into_metrics())
+            };
+            let baseline = run(1);
+            for threads in [2usize, 4, 8] {
+                let got = run(threads);
+                prop_assert_eq!(&got.0, &baseline.0, "report, mode {}, threads {}", mode, threads);
+                prop_assert_eq!(&got.1, &baseline.1, "digests, mode {}, threads {}", mode, threads);
+                prop_assert_eq!(&got.2, &baseline.2, "ledger, mode {}, threads {}", mode, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_phase_engine_is_transcript_identical(
+        n in 2usize..10,
+        b in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // Same contract for the bulk-synchronous engine: a protocol built
+        // from random mixed phases reports identical outputs and ledgers at
+        // every worker count, in both modes.
+        for mode in [CommMode::Broadcast, CommMode::Unicast] {
+            let run = |threads: usize| {
+                let cfg = CliqueConfig::builder().nodes(n).bandwidth(b).mode(mode).build();
+                let runner = Runner::new(cfg).with_threads(Some(threads));
+                runner.execute(&mut |session: &mut Session| {
+                    let mut digest = 0u64;
+                    for phase in 0..3u64 {
+                        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ phase);
+                        let mut outs: Vec<PhaseOutbox> = (0..n).map(|_| PhaseOutbox::new()).collect();
+                        for (src, out) in outs.iter_mut().enumerate() {
+                            if rng.gen_bool(0.6) {
+                                let len = rng.gen_range(1..20);
+                                out.broadcast((0..len).map(|_| rng.gen_bool(0.5)).collect());
+                            }
+                            if mode == CommMode::Unicast {
+                                for _ in 0..rng.gen_range(0..3) {
+                                    let dst = rng.gen_range(0..n);
+                                    if dst != src {
+                                        let len = rng.gen_range(0..16);
+                                        out.send(
+                                            NodeId::new(dst),
+                                            (0..len).map(|_| rng.gen_bool(0.5)).collect(),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        let inboxes = session.exchange("chatter", outs)?;
+                        for inbox in &inboxes {
+                            digest = digest
+                                .rotate_left(7)
+                                .wrapping_add(inbox.received_bits() as u64)
+                                .wrapping_add(inbox.broadcasts().count() as u64);
+                        }
+                    }
+                    Ok(digest)
+                }).unwrap()
+            };
+            let baseline = run(1);
+            for threads in [2usize, 4, 8] {
+                let got = run(threads);
+                prop_assert_eq!(*got, *baseline, "output, mode {}, threads {}", mode, threads);
+                prop_assert_eq!(&got.metrics, &baseline.metrics, "ledger, mode {}, threads {}", mode, threads);
+            }
+        }
+    }
+}
