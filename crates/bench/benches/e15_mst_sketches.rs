@@ -1,0 +1,22 @@
+//! Criterion benchmark for experiment E15: wall-clock cost of the
+//! `e15_mst_sketches` sweep at quick scale (sketch-Borůvka MST over the
+//! weighted family grid). The full sweep (and the constant-phase plateau
+//! table) is produced by the `experiments` binary.
+
+use std::time::Duration;
+
+use clique_bench::experiments::e15_mst_sketches;
+use clique_bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_mst_sketches");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("quick sweep", |b| b.iter(|| e15_mst_sketches(Scale::Quick)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E14) of EXPERIMENTS.md.
+//! Regenerates every experiment table (E1–E15) of EXPERIMENTS.md.
 //!
 //! Usage:
 //!
@@ -60,6 +60,7 @@ fn main() {
         ("E12", experiments::e12_sketch_reconstruction),
         ("E13", experiments::e13_semiring_matmul),
         ("E14", experiments::e14_parallel_scaling),
+        ("E15", experiments::e15_mst_sketches),
     ];
 
     let known: Vec<&str> = all.iter().map(|(id, _)| *id).collect();

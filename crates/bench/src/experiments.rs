@@ -14,7 +14,9 @@ use clique_core::comm::counting;
 use clique_core::comm::disjointness::DisjointnessBound;
 use clique_core::graphs::behrend::behrend_set;
 use clique_core::graphs::degeneracy::degeneracy;
+use clique_core::graphs::iso::minimum_spanning_forest;
 use clique_core::graphs::sampling::SampledSubgraphs;
+use clique_core::graphs::weighted::{self, WeightedGraph};
 use clique_core::graphs::{extremal, generators, Graph, Pattern};
 use clique_core::lower_bounds::{
     bipartite_detection_lower_bound, clique_detection_lower_bound, cycle_detection_lower_bound,
@@ -31,7 +33,7 @@ use clique_core::subgraph::{detect_subgraph_turan, SketchReconstruction};
 use clique_core::triangle::{
     detect_triangle_dlp, detect_triangle_trivial, detect_triangle_via_matmul, MatMulStrategy,
 };
-use clique_core::{detect_subgraph_adaptive, simulate_circuit, InputPartition};
+use clique_core::{compute_msf, detect_subgraph_adaptive, simulate_circuit, InputPartition};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -933,6 +935,74 @@ pub fn e14_parallel_scaling(scale: Scale) -> ExperimentTable {
     table
 }
 
+/// E15 — constant-round deterministic MST on graph sketches: phases (and
+/// hence rounds at `b = Θ(log n)`) stay flat as `n` grows on bounded-cut
+/// families, with a clique as the escalation contrast.
+pub fn e15_mst_sketches(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E15",
+        "deterministic MST on graph sketches (signed-incidence Borůvka)",
+        "with O(k log n)-bit incidence sketches, families whose contractions keep a decodable component finish in one broadcast phase at every size — the constant-round plateau; a clique forces Θ(log(n/k)) capacity escalations (contrast row); the forest always equals the Kruskal oracle",
+        &[
+            "family",
+            "n",
+            "m",
+            "b",
+            "base k",
+            "phases",
+            "final k",
+            "rounds",
+            "bits",
+            "weight = oracle",
+        ],
+    );
+    let sizes: &[usize] = scale.pick(&[16, 24, 32][..], &[16, 32, 48, 64, 96][..]);
+    let base_capacity = 4;
+    for &n in sizes {
+        let b = log2_bandwidth(n);
+        // Polynomially bounded weights, small enough to force duplicates.
+        let max_weight = 2 * n as u64;
+        let mut r = rng(1500 + n as u64);
+        let families: Vec<(&str, WeightedGraph)> = vec![
+            ("path", weighted::weighted_path(n, max_weight, &mut r)),
+            ("cycle", weighted::weighted_cycle(n, max_weight, &mut r)),
+            (
+                "random tree",
+                weighted::weighted_random_tree(n, max_weight, &mut r),
+            ),
+            (
+                "sparse G(n, 3/n)",
+                weighted::weighted_erdos_renyi(n, 3.0 / n as f64, max_weight, &mut r),
+            ),
+            (
+                "dense C4-free (polarity)",
+                weighted::random_weights(&extremal::dense_c4_free(n), max_weight, &mut r),
+            ),
+            (
+                "complete (contrast)",
+                weighted::weighted_complete(n, max_weight, &mut r),
+            ),
+        ];
+        for (family, graph) in families {
+            let run = compute_msf(&graph, base_capacity, b).expect("msf run failed");
+            let oracle = minimum_spanning_forest(&graph);
+            table.push_row(vec![
+                family.to_owned(),
+                n.to_string(),
+                graph.edge_count().to_string(),
+                b.to_string(),
+                base_capacity.to_string(),
+                run.phases.to_string(),
+                run.final_capacity.to_string(),
+                run.rounds().to_string(),
+                run.total_bits().to_string(),
+                (run.forest() == oracle).to_string(),
+            ]);
+        }
+    }
+    table
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(scale: Scale) -> Vec<ExperimentTable> {
     vec![
@@ -950,6 +1020,7 @@ pub fn run_all(scale: Scale) -> Vec<ExperimentTable> {
         e12_sketch_reconstruction(scale),
         e13_semiring_matmul(scale),
         e14_parallel_scaling(scale),
+        e15_mst_sketches(scale),
     ]
 }
 
@@ -994,6 +1065,37 @@ mod tests {
             table.rows.iter().all(|r| r[col] == "true"),
             "an E14 worker count changed a transcript"
         );
+    }
+
+    #[test]
+    fn mst_experiment_rows_match_oracle_and_plateau() {
+        let table = e15_mst_sketches(Scale::Quick);
+        let ok_col = table
+            .headers
+            .iter()
+            .position(|h| h == "weight = oracle")
+            .unwrap();
+        let phases_col = table.headers.iter().position(|h| h == "phases").unwrap();
+        let family_col = table.headers.iter().position(|h| h == "family").unwrap();
+        assert!(!table.rows.is_empty());
+        assert!(
+            table.rows.iter().all(|r| r[ok_col] == "true"),
+            "an E15 row disagrees with the Kruskal oracle"
+        );
+        // The plateau: the bounded-cut families finish in one phase at
+        // every size, while the clique contrast always escalates.
+        for row in &table.rows {
+            let family = row[family_col].as_str();
+            if ["path", "cycle", "random tree"].contains(&family) {
+                assert_eq!(row[phases_col], "1", "{family} escalated");
+            }
+            if family.contains("contrast") {
+                assert!(
+                    row[phases_col] != "1",
+                    "the clique contrast did not escalate"
+                );
+            }
+        }
     }
 
     #[test]

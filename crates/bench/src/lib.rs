@@ -2,7 +2,7 @@
 //!
 //! The paper has no numeric tables or figures (its results are theorems), so
 //! the "tables" this harness regenerates are the per-theorem experiments
-//! listed in DESIGN.md (E1–E14): every experiment runs the corresponding
+//! listed in DESIGN.md (E1–E15): every experiment runs the corresponding
 //! construction over a parameter sweep and reports the measured rounds, bits
 //! or sizes next to the bound the theorem predicts.
 //!
@@ -16,9 +16,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod experiments;
 pub mod table;
 
+pub use diff::{assert_protocol_matches_oracle, unweighted_grid, weighted_grid, LabeledCase};
 pub use experiments::{run_all, Scale};
 pub use table::ExperimentTable;
 

@@ -28,6 +28,10 @@
 //! * [`adaptive`] — the Theorem 9 adaptive detection algorithm that does not
 //!   need to know `ex(n, H)` ([`adaptive::AdaptiveDetection`]; degeneracy
 //!   sampling, Lemma 8);
+//! * [`mst`] — deterministic minimum spanning forests on edge-incidence
+//!   sketches ([`mst::MstProtocol`]: Borůvka phases of sketch broadcast,
+//!   local contraction and capacity escalation — the constant-round
+//!   plateau workload of the Nowicki / Ghaffari–Parter line);
 //! * [`trivial`] — the broadcast-everything ([`trivial::FullBroadcastDetection`])
 //!   and gather-at-a-leader ([`trivial::GatherToLeaderDetection`]) baselines;
 //! * [`lower_bounds`] — executable versions of the Section 3.2–3.6 lower
@@ -66,6 +70,7 @@ pub mod adaptive;
 pub mod algebraic;
 pub mod circuit_sim;
 pub mod lower_bounds;
+pub mod mst;
 pub mod outcome;
 pub mod subgraph;
 pub mod triangle;
@@ -97,6 +102,7 @@ pub use algebraic::{
 pub use circuit_sim::{
     plan_simulation, simulate_circuit, CircuitSimulation, InputPartition, SimulationPlan,
 };
+pub use mst::{compute_msf, mst_message_bits, MsfOutput, MstProtocol};
 pub use outcome::{CircuitOutput, CircuitSimOutcome, Detection, DetectionOutcome};
 pub use subgraph::{
     detect_subgraph_turan, run_reconstruction_protocol, Reconstruction, ReconstructionRun,

@@ -1,0 +1,517 @@
+//! Deterministic minimum-spanning-forest protocol on graph sketches.
+//!
+//! The flagship workload the paper's broadcast model is known to support in
+//! constant rounds: Nowicki, *A Deterministic Algorithm for the MST Problem
+//! in Constant Rounds of Congested Clique* (STOC 2021), building on the
+//! sketch-based Borůvka line of Hegeman et al. and Ghaffari–Parter. This
+//! module implements the core of that machinery — deterministic
+//! edge-incidence sketching plus Borůvka contraction — as one more
+//! [`Protocol`] over the blackboard model:
+//!
+//! 1. **Unique weights.** Edges are ordered by the `(w, u, v)` key of
+//!    [`WeightedGraph::edge_order_key`], so the minimum spanning forest is
+//!    unique and the cut property picks one safe edge per component. The
+//!    whole triple is packed into a single integer `w·n² + u·n + v`, which
+//!    makes "lightest cut edge" and "smallest decoded sketch element" the
+//!    same thing — the decoder needs no access to the weights.
+//! 2. **Incidence sketches.** Node `v` publishes the
+//!    [`SignedPowerSumSketch`] of its incident edge keys, signed `+1`
+//!    towards higher-numbered neighbours and `−1` towards lower-numbered
+//!    ones. By linearity, summing the published sketches of any vertex set
+//!    `S` cancels the edges inside `S` and leaves exactly the cut
+//!    `E(S, V∖S)`, each edge with multiplicity `±1`.
+//! 3. **Local Borůvka to exhaustion.** After one broadcast every node holds
+//!    the same blackboard, so every node runs the same contraction: sum the
+//!    member sketches of each component, decode the cut, pick the minimum
+//!    key (the tie-broken lightest outgoing edge — safe by the cut
+//!    property), merge, and repeat until no component's cut decodes any
+//!    more. The vertex sketches are *static* under contraction — merging
+//!    only changes which of them are summed — so one broadcast per
+//!    capacity level supports arbitrarily many Borůvka merges.
+//! 4. **Capacity escalation.** A phase ends with a one-bit all-done vote
+//!    (the [`ApspProtocol`](crate::algebraic::ApspProtocol) early-exit
+//!    pattern). If unfinished components remain, every one of them has a
+//!    cut larger than the current capacity `k`; the capacity doubles and
+//!    one more sketch broadcast follows. Families whose contractions keep
+//!    a low-cut component available — paths, cycles, trees, stars, sparse
+//!    random graphs — finish in a *single* phase at any size, which is the
+//!    constant-round plateau experiment E15 measures; a clique forces
+//!    `Θ(log(n/k))` escalations and serves as the contrast row.
+//!
+//! Determinism note: the protocol is deterministic end to end — ties are
+//! impossible under the `(w, u, v)` order, the contraction loop visits
+//! components in ascending representative order, and by the
+//! parallelism-never-changes-transcripts invariant (DESIGN.md, Concurrency)
+//! the round/bit ledger is identical at every worker count.
+//!
+//! Decoding guarantees: a component cut of size at most `k` decodes
+//! exactly; any cut of size at most `2k` is *detected* as over-capacity
+//! (the `2k` published power sums of ≤ 2k distinct elements form a
+//! full-rank Vandermonde system). Beyond `2k` a false decode would require
+//! a signed set of ≤ `k` genuine edge keys to reproduce all `2k` power
+//! sums *and* survive the crossing-edge check below; the differential
+//! oracle grid pins that this never bites on the test families, and any
+//! residual miss is caught by escalation, not by a wrong output.
+
+use clique_graphs::iso::SpanningForest;
+use clique_graphs::weighted::UnionFind;
+use clique_graphs::WeightedGraph;
+use clique_sim::prelude::*;
+use clique_sketch::signed::signed_sketch_bits;
+use clique_sketch::SignedPowerSumSketch;
+
+/// The output of [`MstProtocol`]: the minimum spanning forest plus the
+/// sketch-protocol diagnostics (phase count and final capacity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsfOutput {
+    /// The forest edges as `(u, v, w)` with `u < v`, ascending by `(u, v)`.
+    pub edges: Vec<(usize, usize, u64)>,
+    /// Sum of the raw weights of the forest edges.
+    pub total_weight: u64,
+    /// Number of connected components of the input graph.
+    pub components: usize,
+    /// Number of sketch-broadcast phases (capacity levels) used.
+    pub phases: usize,
+    /// The sketch capacity of the last phase.
+    pub final_capacity: usize,
+}
+
+impl MsfOutput {
+    /// The forest in the oracle's format, for direct comparison with
+    /// [`minimum_spanning_forest`](clique_graphs::iso::minimum_spanning_forest).
+    pub fn forest(&self) -> SpanningForest {
+        SpanningForest {
+            edges: self.edges.clone(),
+            total_weight: self.total_weight,
+            components: self.components,
+        }
+    }
+}
+
+/// Deterministic sketch-based Borůvka MST as a [`Protocol`] over
+/// `CLIQUE-BCAST`: per capacity level, one `O(k log n)`-bit incidence-sketch
+/// broadcast per node, a local contraction to exhaustion, and a one-bit
+/// done vote.
+///
+/// # Examples
+///
+/// ```
+/// use clique_core::mst::compute_msf;
+/// use clique_core::graphs::weighted;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let g = weighted::weighted_cycle(32, 100, &mut rng);
+/// let run = compute_msf(&g, 4, 5).unwrap();
+/// assert_eq!(run.edges.len(), 31);
+/// assert_eq!(run.phases, 1); // cycle cuts never exceed 2
+/// ```
+#[derive(Clone, Debug)]
+pub struct MstProtocol<'a> {
+    graph: &'a WeightedGraph,
+    base_capacity: usize,
+}
+
+impl<'a> MstProtocol<'a> {
+    /// Prepares the protocol with the given starting sketch capacity
+    /// (doubled on every escalation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_capacity == 0`, or if the packed edge keys would
+    /// overflow the sketch field (`(max_weight + 1) · n²` must stay below
+    /// `2³⁰` — polynomially bounded weights, the standard congested-clique
+    /// assumption).
+    pub fn new(graph: &'a WeightedGraph, base_capacity: usize) -> Self {
+        assert!(base_capacity > 0, "sketch capacity must be positive");
+        let n = graph.vertex_count() as u64;
+        let universe = (graph.max_weight() + 1)
+            .checked_mul(n * n)
+            .filter(|&u| u < 1 << 30)
+            .expect("edge-key universe (max_weight + 1)·n² must stay below 2^30");
+        let _ = universe;
+        Self {
+            graph,
+            base_capacity,
+        }
+    }
+
+    /// The packed edge key `w·n² + u·n + v` (`u < v`) whose integer order
+    /// is the `(w, u, v)` unique-weight order.
+    fn edge_key(&self, u: usize, v: usize) -> u64 {
+        let n = self.graph.vertex_count() as u64;
+        let (w, a, b) = self.graph.edge_order_key(u, v);
+        w * n * n + (a as u64) * n + b as u64
+    }
+
+    /// Node `v`'s incidence sketch at the given capacity: every incident
+    /// edge key, signed `+1` when `v` is the smaller endpoint and `−1`
+    /// when it is the larger — local knowledge only.
+    fn incidence_sketch(&self, v: usize, universe: u64, capacity: usize) -> SignedPowerSumSketch {
+        let mut sketch = SignedPowerSumSketch::new(universe, capacity);
+        for (u, _) in self.graph.weighted_neighbors(v) {
+            let key = self.edge_key(v, u);
+            if v < u {
+                sketch.add(key);
+            } else {
+                sketch.remove(key);
+            }
+        }
+        sketch
+    }
+}
+
+/// Unpacks `w·n² + u·n + v` back into `(u, v, w)`.
+fn unpack_key(key: u64, n: u64) -> (usize, usize, u64) {
+    let w = key / (n * n);
+    let rest = key % (n * n);
+    ((rest / n) as usize, (rest % n) as usize, w)
+}
+
+/// One full Borůvka contraction from the blackboard of published vertex
+/// sketches — the computation every node performs identically. Components
+/// are summed, decoded against the (public-order) candidate key list, and
+/// merged on their minimum cut key until no component makes progress.
+/// Returns `true` when every component decoded an empty cut (forest done).
+fn contract_to_exhaustion(
+    blackboard: &[SignedPowerSumSketch],
+    candidates: &[u64],
+    n: usize,
+    dsu: &mut UnionFind,
+    forest: &mut Vec<(usize, usize, u64)>,
+) -> bool {
+    // Sum the member sketches of every current component (linearity: the
+    // result sketches exactly the component's cut).
+    let mut component: Vec<Option<SignedPowerSumSketch>> = vec![None; n];
+    for (v, incidence) in blackboard.iter().enumerate() {
+        let root = dsu.find(v);
+        match &mut component[root] {
+            Some(sketch) => sketch.merge(incidence),
+            None => component[root] = Some(incidence.clone()),
+        }
+    }
+    let mut finished = vec![false; n];
+    loop {
+        let mut progress = false;
+        for r in 0..n {
+            if dsu.find(r) != r || finished[r] {
+                continue;
+            }
+            let sketch = component[r].as_ref().expect("every root has a sketch");
+            let Some(cut) = sketch.decode_among(candidates) else {
+                continue; // cut larger than capacity: wait for escalation
+            };
+            if cut.is_empty() {
+                finished[r] = true;
+                continue;
+            }
+            // Minimum key = tie-broken lightest outgoing edge, safe by the
+            // cut property (decode_among returns keys ascending).
+            let (u, v, w) = unpack_key(cut[0].0, n as u64);
+            let (ru, rv) = (dsu.find(u), dsu.find(v));
+            if (ru == r) == (rv == r) {
+                continue; // not a crossing edge: spurious decode, treat as over-capacity
+            }
+            let other = if ru == r { rv } else { ru };
+            let merged = {
+                let mut sketch = component[r].take().expect("root sketch present");
+                sketch.merge(
+                    component[other]
+                        .take()
+                        .as_ref()
+                        .expect("root sketch present"),
+                );
+                sketch
+            };
+            dsu.union(u, v);
+            forest.push((u, v, w));
+            component[dsu.find(r)] = Some(merged);
+            progress = true;
+        }
+        if !progress {
+            break;
+        }
+    }
+    (0..n).all(|v| dsu.find(v) != v || finished[v])
+}
+
+impl Protocol for MstProtocol<'_> {
+    type Output = MsfOutput;
+
+    fn run(&mut self, session: &mut Session) -> Result<MsfOutput, SimError> {
+        let n = self.graph.vertex_count();
+        session.require_clique_of(n);
+        let mut dsu = UnionFind::new(n);
+        let mut forest: Vec<(usize, usize, u64)> = Vec::new();
+        let mut phases = 0usize;
+        let mut capacity = 0usize;
+
+        if n > 1 {
+            let n_u64 = n as u64;
+            let universe = (self.graph.max_weight() + 1) * n_u64 * n_u64;
+            // The decode scan only ever needs to test genuine edge keys:
+            // cut elements are edges, and `decode_among` verifies every
+            // answer by re-sketching, so restricting the (model-free) local
+            // root scan is a pure simulation speed-up. The list is ordered
+            // data every node can derive after the broadcast; candidate
+            // order never influences the transcript.
+            let candidates: Vec<u64> = {
+                let mut keys: Vec<u64> = self
+                    .graph
+                    .edges()
+                    .map(|(u, v, _)| self.edge_key(u, v))
+                    .collect();
+                keys.sort_unstable();
+                keys
+            };
+            let max_capacity = self.graph.edge_count().max(1);
+            capacity = self.base_capacity.min(max_capacity);
+            let field_bits = SignedPowerSumSketch::new(universe, 1)
+                .field()
+                .element_bits();
+
+            loop {
+                phases += 1;
+                // One sketch broadcast per node at the current capacity.
+                let sketches: Vec<SignedPowerSumSketch> = (0..n)
+                    .map(|v| self.incidence_sketch(v, universe, capacity))
+                    .collect();
+                let messages: Vec<BitString> = sketches
+                    .iter()
+                    .map(|sketch| {
+                        let mut bits = BitString::with_capacity(2 * capacity * field_bits);
+                        for &sum in sketch.power_sums() {
+                            bits.push_bits(sum, field_bits);
+                        }
+                        bits
+                    })
+                    .collect();
+                let inboxes = session.broadcast_all("broadcast incidence sketches", &messages)?;
+
+                // Every node now holds the same blackboard (own sketch plus
+                // the n−1 received ones) and contracts identically; the
+                // simulation performs the shared computation once, from
+                // node 0's inbox.
+                let blackboard: Vec<SignedPowerSumSketch> = (0..n)
+                    .map(|v| {
+                        if v == 0 {
+                            return sketches[0].clone();
+                        }
+                        let payload = inboxes[0]
+                            .broadcast_from(NodeId::new(v))
+                            .expect("every node published a sketch");
+                        let mut reader = payload.reader();
+                        let sums: Vec<u64> = (0..2 * capacity)
+                            .map(|_| reader.read_bits(field_bits).expect("well-formed sketch"))
+                            .collect();
+                        SignedPowerSumSketch::from_parts(universe, capacity, sums)
+                    })
+                    .collect();
+                let done =
+                    contract_to_exhaustion(&blackboard, &candidates, n, &mut dsu, &mut forest);
+
+                // One-bit all-done vote (identical at every node).
+                let votes: Vec<BitString> = (0..n)
+                    .map(|_| BitString::from_bits(u64::from(done), 1))
+                    .collect();
+                session.broadcast_all("announce contraction-done flags", &votes)?;
+                if done {
+                    break;
+                }
+                debug_assert!(
+                    capacity < max_capacity,
+                    "a full-capacity sketch decodes every cut"
+                );
+                capacity = (capacity * 2).min(max_capacity);
+            }
+        }
+
+        forest.sort_unstable();
+        let total_weight = forest.iter().map(|&(_, _, w)| w).sum();
+        Ok(MsfOutput {
+            edges: forest,
+            total_weight,
+            components: dsu.components(),
+            phases,
+            final_capacity: capacity,
+        })
+    }
+}
+
+/// Runs [`MstProtocol`] on `CLIQUE-BCAST(n, b)` — the blackboard model the
+/// sketch broadcasts are stated for.
+///
+/// # Errors
+///
+/// Propagates simulator errors (which cannot occur for well-formed inputs).
+///
+/// # Panics
+///
+/// Panics if the graph is empty or any [`MstProtocol::new`] precondition
+/// fails.
+pub fn compute_msf(
+    graph: &WeightedGraph,
+    base_capacity: usize,
+    bandwidth: usize,
+) -> Result<RunOutcome<MsfOutput>, SimError> {
+    let n = graph.vertex_count();
+    assert!(n > 0, "the input graph must have at least one node");
+    Runner::new(CliqueConfig::broadcast(n, bandwidth))
+        .execute(&mut MstProtocol::new(graph, base_capacity))
+}
+
+/// The number of blackboard bits one node publishes per phase for an
+/// `n`-vertex graph with maximum weight `max_weight` at sketch capacity
+/// `k`: `O(k log n)` for polynomially bounded weights.
+pub fn mst_message_bits(n: usize, max_weight: u64, capacity: usize) -> usize {
+    let n = n as u64;
+    signed_sketch_bits((max_weight + 1) * n * n, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clique_graphs::iso::minimum_spanning_forest;
+    use clique_graphs::{generators, weighted};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn assert_matches_oracle(graph: &WeightedGraph, base_capacity: usize) -> MsfOutput {
+        let run = compute_msf(graph, base_capacity, 4).unwrap();
+        let oracle = minimum_spanning_forest(graph);
+        assert_eq!(run.forest(), oracle, "protocol vs Kruskal oracle");
+        run.output
+    }
+
+    #[test]
+    fn matches_oracle_on_small_families() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x315);
+        for graph in [
+            weighted::weighted_path(9, 20, &mut rng),
+            weighted::weighted_cycle(12, 20, &mut rng),
+            weighted::weighted_star(10, 20, &mut rng),
+            weighted::weighted_complete(8, 20, &mut rng),
+            weighted::weighted_random_tree(14, 20, &mut rng),
+            weighted::weighted_erdos_renyi(16, 0.3, 20, &mut rng),
+        ] {
+            assert_matches_oracle(&graph, 4);
+        }
+    }
+
+    #[test]
+    fn single_node_needs_no_communication() {
+        let run = compute_msf(&WeightedGraph::empty(1), 4, 4).unwrap();
+        assert_eq!(run.rounds(), 0);
+        assert_eq!(run.edges, vec![]);
+        assert_eq!(run.components, 1);
+        assert_eq!(run.phases, 0);
+    }
+
+    #[test]
+    fn two_nodes_single_edge() {
+        let graph = WeightedGraph::from_edges(2, &[(0, 1, 9)]);
+        let out = assert_matches_oracle(&graph, 4);
+        assert_eq!(out.edges, vec![(0, 1, 9)]);
+        assert_eq!(out.total_weight, 9);
+        assert_eq!(out.phases, 1);
+    }
+
+    #[test]
+    fn disconnected_inputs_yield_minimum_spanning_forests() {
+        // Two weighted components plus two isolated vertices.
+        let graph = WeightedGraph::from_edges(
+            8,
+            &[
+                (0, 1, 3),
+                (1, 2, 1),
+                (0, 2, 2),
+                (4, 5, 7),
+                (5, 6, 4),
+                (4, 6, 6),
+            ],
+        );
+        let out = assert_matches_oracle(&graph, 2);
+        assert_eq!(out.components, 4);
+        assert_eq!(out.edges.len(), 4);
+        // An entirely edgeless graph is a forest of isolated vertices.
+        let out = assert_matches_oracle(&WeightedGraph::empty(5), 2);
+        assert_eq!(out.components, 5);
+        assert_eq!(out.phases, 1); // one (empty) broadcast phase settles it
+    }
+
+    #[test]
+    fn all_equal_weights_follow_the_tie_break() {
+        let graph = weighted::constant_weights(&generators::complete(9), 5);
+        let out = assert_matches_oracle(&graph, 4);
+        // The (w, u, v) order makes the star at vertex 0 the unique MSF.
+        assert_eq!(out.edges, (1..9).map(|v| (0, v, 5)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn complete_graph_escalates_past_the_capacity_boundary() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xB0F);
+        let graph = weighted::weighted_complete(16, 40, &mut rng);
+        // Singleton cuts have size 15 > 2: escalation is forced…
+        let out = assert_matches_oracle(&graph, 2);
+        assert!(
+            out.phases > 1,
+            "expected escalation, got {} phase(s)",
+            out.phases
+        );
+        assert!(out.final_capacity >= 15);
+        // …while a capacity covering the worst intermediate cut (a
+        // balanced bipartition, s·(n−s) ≤ 64) finishes in one phase.
+        let out = assert_matches_oracle(&graph, 64);
+        assert_eq!(out.phases, 1);
+    }
+
+    #[test]
+    fn bounded_cut_families_use_one_phase_at_any_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x10E);
+        for n in [8usize, 32, 64] {
+            let path = weighted::weighted_path(n, 30, &mut rng);
+            assert_eq!(assert_matches_oracle(&path, 4).phases, 1, "path n={n}");
+            let star = weighted::weighted_star(n - 1, 30, &mut rng);
+            assert_eq!(assert_matches_oracle(&star, 4).phases, 1, "star n={n}");
+        }
+    }
+
+    #[test]
+    fn rounds_charge_sketches_and_votes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x77);
+        let graph = weighted::weighted_cycle(24, 50, &mut rng);
+        let run = compute_msf(&graph, 4, 6).unwrap();
+        assert_eq!(run.phases, 1);
+        let sketch_bits = mst_message_bits(24, 50, 4);
+        let expected_rounds = sketch_bits.div_ceil(6) as u64 + 1; // + the vote
+        assert_eq!(run.rounds(), expected_rounds);
+        assert_eq!(
+            run.total_bits(),
+            24 * (sketch_bits as u64 + 1),
+            "every node publishes one sketch and one vote bit"
+        );
+    }
+
+    #[test]
+    fn duplicate_weights_on_random_graphs_match_the_oracle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xD1);
+        for _ in 0..5 {
+            // max_weight 3 on 14 nodes: collisions guaranteed.
+            let graph = weighted::weighted_erdos_renyi(14, 0.35, 3, &mut rng);
+            assert_matches_oracle(&graph, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = MstProtocol::new(&WeightedGraph::empty(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 2^30")]
+    fn oversized_weights_are_rejected() {
+        let graph = WeightedGraph::from_edges(64, &[(0, 1, 1 << 40)]);
+        let _ = MstProtocol::new(&graph, 4);
+    }
+}

@@ -8,6 +8,7 @@
 //! ground-truth oracle in tests and experiments.
 
 use crate::graph::Graph;
+use crate::weighted::{UnionFind, WeightedGraph};
 use clique_sim::linalg::IntMatrix;
 
 /// Returns `true` if `host` contains a subgraph isomorphic to `pattern`.
@@ -131,6 +132,51 @@ pub fn bfs_distances(graph: &Graph) -> IntMatrix {
         }
     }
     out
+}
+
+/// The minimum spanning forest of a weighted graph, as computed by the
+/// sequential oracle [`minimum_spanning_forest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// The forest edges as `(u, v, w)` with `u < v`, ascending by `(u, v)`.
+    pub edges: Vec<(usize, usize, u64)>,
+    /// Sum of the raw weights of the forest edges.
+    pub total_weight: u64,
+    /// Number of connected components (isolated vertices included); the
+    /// forest has `n - components` edges.
+    pub components: usize,
+}
+
+/// Kruskal's algorithm under the `(w, u, v)` unique-weight normalization —
+/// the ground-truth oracle the distributed MST protocol is checked against.
+///
+/// On disconnected inputs this returns the minimum spanning *forest*: a
+/// minimum spanning tree of every connected component. Because the
+/// normalized weights are distinct, the forest is unique, so any correct
+/// MST algorithm must return exactly [`SpanningForest::edges`] — tests can
+/// compare edge sets, not just totals.
+pub fn minimum_spanning_forest(graph: &WeightedGraph) -> SpanningForest {
+    let n = graph.vertex_count();
+    let mut edges: Vec<(usize, usize, u64)> = graph.edges().collect();
+    edges.sort_unstable_by_key(|&(u, v, w)| (w, u, v));
+    let mut dsu = UnionFind::new(n);
+    let mut forest = Vec::new();
+    let mut total_weight = 0u64;
+    for (u, v, w) in edges {
+        if dsu.union(u, v) {
+            forest.push((u, v, w));
+            total_weight += w;
+            if dsu.components() == 1 {
+                break;
+            }
+        }
+    }
+    forest.sort_unstable();
+    SpanningForest {
+        edges: forest,
+        total_weight,
+        components: dsu.components(),
+    }
 }
 
 /// Orders pattern vertices so that each vertex (after the first) is adjacent
@@ -375,6 +421,82 @@ mod tests {
             let k3 = generators::complete(3);
             // count_labelled_copies counts each triangle 3! = 6 times.
             assert_eq!(count_labelled_copies(&g, &k3), 6 * triangle_count(&g));
+        }
+    }
+
+    #[test]
+    fn kruskal_on_a_known_instance() {
+        // Classic 4-cycle with a chord: MST = {0-1, 1-2, 2-3}.
+        let g =
+            WeightedGraph::from_edges(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 1), (0, 3, 5), (0, 2, 4)]);
+        let forest = minimum_spanning_forest(&g);
+        assert_eq!(forest.edges, vec![(0, 1, 1), (1, 2, 2), (2, 3, 1)]);
+        assert_eq!(forest.total_weight, 4);
+        assert_eq!(forest.components, 1);
+    }
+
+    #[test]
+    fn kruskal_handles_forests_and_trivial_graphs() {
+        // Two components plus an isolated vertex.
+        let g = WeightedGraph::from_edges(5, &[(0, 1, 3), (1, 2, 1), (0, 2, 2), (3, 4, 7)]);
+        let forest = minimum_spanning_forest(&g);
+        assert_eq!(forest.edges, vec![(0, 2, 2), (1, 2, 1), (3, 4, 7)]);
+        assert_eq!(forest.total_weight, 10);
+        assert_eq!(forest.components, 2);
+
+        let trivial = minimum_spanning_forest(&WeightedGraph::empty(1));
+        assert_eq!(trivial.edges, vec![]);
+        assert_eq!(trivial.components, 1);
+        assert_eq!(
+            minimum_spanning_forest(&WeightedGraph::empty(0)).components,
+            0
+        );
+    }
+
+    #[test]
+    fn kruskal_tie_break_picks_lexicographically_smallest_edges() {
+        // All weights equal on K4: the (w, u, v) order must pick the star
+        // at vertex 0, the lexicographically smallest spanning tree.
+        let g = crate::weighted::constant_weights(&generators::complete(4), 5);
+        let forest = minimum_spanning_forest(&g);
+        assert_eq!(forest.edges, vec![(0, 1, 5), (0, 2, 5), (0, 3, 5)]);
+        assert_eq!(forest.total_weight, 15);
+    }
+
+    #[test]
+    fn kruskal_weight_is_optimal_on_random_instances() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x312);
+        for _ in 0..6 {
+            let g = crate::weighted::weighted_erdos_renyi(9, 0.5, 6, &mut rng);
+            let forest = minimum_spanning_forest(&g);
+            // Spanning-forest size matches the component structure.
+            assert_eq!(
+                forest.edges.len(),
+                g.vertex_count() - forest.components,
+                "forest size vs components"
+            );
+            // Exhaustively check optimality over all spanning forests via
+            // the cycle property: removing any forest edge and reconnecting
+            // with any non-forest edge across the same cut never improves.
+            for &(u, v, w) in &forest.edges {
+                for (a, b, w2) in g.edges() {
+                    if forest.edges.contains(&(a, b, w2)) {
+                        continue;
+                    }
+                    let mut dsu = UnionFind::new(g.vertex_count());
+                    for &(x, y, _) in forest.edges.iter().filter(|&&e| e != (u, v, w)) {
+                        dsu.union(x, y);
+                    }
+                    // (a, b) reconnects the split iff it crosses the cut.
+                    if !dsu.connected(a, b) && dsu.connected(a, u) != dsu.connected(b, u) {
+                        assert!(
+                            (w2, a, b) > (w, u, v),
+                            "swap ({a},{b},{w2}) for ({u},{v},{w}) would improve the forest"
+                        );
+                    }
+                }
+            }
         }
     }
 

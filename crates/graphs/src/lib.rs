@@ -18,7 +18,9 @@
 //! * [`behrend`] — Behrend AP-free sets and Ruzsa–Szemerédi graphs
 //!   (Claim 23, Theorem 24);
 //! * [`sampling`] — the correlated edge-sampling scheme of Theorem 9 /
-//!   Lemma 8.
+//!   Lemma 8;
+//! * [`weighted`] — edge-weighted graphs with the `(w, u, v)` unique-weight
+//!   normalization, weighted generators and the Kruskal/Borůvka union-find.
 //!
 //! # Examples
 //!
@@ -44,6 +46,8 @@ pub mod graph;
 pub mod iso;
 pub mod sampling;
 pub mod turan;
+pub mod weighted;
 
 pub use graph::Graph;
 pub use turan::Pattern;
+pub use weighted::WeightedGraph;

@@ -11,7 +11,10 @@
 //!   decoding via Newton's identities and locator-polynomial root finding,
 //! * [`mod@reconstruct`] — the encode/peel-decode pair implementing algorithm
 //!   `A(G, k)` of Section 3.1, including detection of the failure case
-//!   "degeneracy larger than `k`".
+//!   "degeneracy larger than `k`",
+//! * [`signed`] — signed (±1-multiplicity) power-sum sketches whose
+//!   component-wise sums cancel internal edges, the edge-incidence
+//!   summaries behind the sketch-based MST protocol.
 //!
 //! # Examples
 //!
@@ -36,8 +39,10 @@
 
 pub mod field;
 pub mod reconstruct;
+pub mod signed;
 pub mod sketch;
 
 pub use field::PrimeField;
 pub use reconstruct::{decode_graph, encode_graph, reconstruct, DecodeError, NodeSketch};
+pub use signed::SignedPowerSumSketch;
 pub use sketch::PowerSumSketch;

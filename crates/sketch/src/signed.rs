@@ -1,0 +1,556 @@
+//! Signed power-sum sketches for edge-incidence summaries.
+//!
+//! A [`SignedPowerSumSketch`] with capacity `k` summarises a *signed* set —
+//! a function `c : {0, …, u-1} → {−1, 0, +1}` with at most `k` nonzero
+//! entries — by the `2k` power sums `p_i = Σ_x c(x)·(x+1)^i (mod p)`. It is
+//! the ingredient that turns Borůvka contraction into a one-broadcast
+//! protocol: node `v` sketches its incident edges, counting edge `{v, u}`
+//! with sign `+1` when `v < u` and `−1` when `v > u`. Summing the sketches
+//! of all member vertices of a component then cancels every internal edge
+//! (its two endpoints contribute opposite signs) and leaves exactly the
+//! *cut* edges, each with multiplicity `±1` — the AGM graph-sketching
+//! identity, here in deterministic exact form.
+//!
+//! Decoding no longer gets a support size for free (the signed count can be
+//! zero for a nonempty set), so it runs Berlekamp–Massey on the `2k` sums
+//! to find the minimal linear recurrence, reads the support off the roots
+//! of its characteristic polynomial, and solves the transposed Vandermonde
+//! system for the signs. A final re-sketch verification rejects every
+//! inconsistent input, exactly as in [`PowerSumSketch::decode`].
+//!
+//! Because the power-sum map is linear, merging two disjoint summaries,
+//! peeling a recovered part, and the incidence-cancellation above are all
+//! pointwise field operations ([`SignedPowerSumSketch::merge`] /
+//! [`SignedPowerSumSketch::subtract`]).
+//!
+//! [`PowerSumSketch::decode`]: crate::sketch::PowerSumSketch::decode
+
+use crate::field::PrimeField;
+
+/// A linear sketch of a signed set over `{0, …, universe-1}` (multiplicities
+/// in `{−1, 0, +1}`) that can be decoded exactly while at most `capacity`
+/// entries are nonzero.
+///
+/// # Examples
+///
+/// ```
+/// use clique_sketch::signed::SignedPowerSumSketch;
+///
+/// let mut sketch = SignedPowerSumSketch::new(100, 3);
+/// sketch.add(7);
+/// sketch.add(42);
+/// sketch.remove(13); // multiplicity −1, not an inverse of add
+/// assert_eq!(sketch.decode(), Some(vec![(7, 1), (13, -1), (42, 1)]));
+///
+/// // Oppositely signed copies cancel: the heart of cut sketching.
+/// let mut mirror = SignedPowerSumSketch::new(100, 3);
+/// mirror.remove(7);
+/// sketch.merge(&mirror);
+/// assert_eq!(sketch.decode(), Some(vec![(13, -1), (42, 1)]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedPowerSumSketch {
+    field: PrimeField,
+    universe: u64,
+    capacity: usize,
+    /// `sums[i]` is the `(i+1)`-st signed power sum; `2 * capacity` of them,
+    /// so Berlekamp–Massey can pin recurrences of order up to `capacity`.
+    sums: Vec<u64>,
+}
+
+impl SignedPowerSumSketch {
+    /// Creates an all-zero sketch for signed sets over `{0, …, universe-1}`
+    /// with at most `capacity` nonzero multiplicities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `universe == 0`.
+    pub fn new(universe: u64, capacity: usize) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(capacity > 0, "capacity must be positive");
+        let field = PrimeField::for_universe(universe + 1, capacity as u64);
+        Self {
+            field,
+            universe,
+            capacity,
+            sums: vec![0; 2 * capacity],
+        }
+    }
+
+    /// The sketch capacity `k` (maximum decodable support size).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The universe size.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> PrimeField {
+        self.field
+    }
+
+    /// Returns `true` if the sketch is identically zero. For honestly
+    /// signed inputs (all multiplicities in `{−1, 0, +1}`) with support at
+    /// most `2 · capacity` this happens *only* for the empty signed set:
+    /// the `2k` power sums of ≤ 2k distinct nonzero field elements form a
+    /// full-rank Vandermonde system, which has no nonzero kernel.
+    pub fn is_zero(&self) -> bool {
+        self.sums.iter().all(|&s| s == 0)
+    }
+
+    /// Adds element `x` with multiplicity `+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= universe`.
+    pub fn add(&mut self, x: u64) {
+        self.update(x, true);
+    }
+
+    /// Adds element `x` with multiplicity `−1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= universe`.
+    pub fn remove(&mut self, x: u64) {
+        self.update(x, false);
+    }
+
+    fn update(&mut self, x: u64, positive: bool) {
+        assert!(
+            x < self.universe,
+            "element {x} outside universe {}",
+            self.universe
+        );
+        let shifted = self.field.reduce(x + 1);
+        let mut power = 1u64;
+        for sum in &mut self.sums {
+            power = self.field.mul(power, shifted);
+            *sum = if positive {
+                self.field.add(*sum, power)
+            } else {
+                self.field.sub(*sum, power)
+            };
+        }
+    }
+
+    /// Pointwise sum `self + other`: the sketch of the multiplicity-wise
+    /// sum of the two signed sets (linearity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches have different parameters.
+    pub fn merge(&mut self, other: &SignedPowerSumSketch) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            *s = self.field.add(*s, *o);
+        }
+    }
+
+    /// Pointwise difference `self − other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches have different parameters.
+    pub fn subtract(&mut self, other: &SignedPowerSumSketch) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            *s = self.field.sub(*s, *o);
+        }
+    }
+
+    /// The raw power sums (for serialisation): `2 * capacity` field
+    /// elements.
+    pub fn power_sums(&self) -> &[u64] {
+        &self.sums
+    }
+
+    /// Rebuilds a sketch from raw parts (as received over the network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sums.len() != 2 * capacity` or the parameters are invalid.
+    pub fn from_parts(universe: u64, capacity: usize, sums: Vec<u64>) -> Self {
+        assert_eq!(
+            sums.len(),
+            2 * capacity,
+            "expected {} power sums",
+            2 * capacity
+        );
+        let mut sketch = Self::new(universe, capacity);
+        sketch.sums = sums.into_iter().map(|s| sketch.field.reduce(s)).collect();
+        sketch
+    }
+
+    /// Decodes the signed set by scanning the whole universe for roots.
+    ///
+    /// Returns the `(element, sign)` pairs sorted by element, or `None`
+    /// when the sketch does not correspond to a signed set of at most
+    /// `capacity` elements with multiplicities `±1`.
+    pub fn decode(&self) -> Option<Vec<(u64, i8)>> {
+        self.decode_scan(None)
+    }
+
+    /// Decodes the signed set, restricting the root scan to `candidates`.
+    ///
+    /// Equivalent to [`Self::decode`] whenever the true support is a subset
+    /// of `candidates` (the verification step rejects any decode that does
+    /// not reproduce the sums, so a miss can only turn into `None`, never
+    /// into a wrong answer). Protocols use this to scan only the
+    /// polynomially many keys that can actually occur — e.g. the edge keys
+    /// of a graph — instead of the full universe; in the congested-clique
+    /// model the two are interchangeable, since local computation is free.
+    ///
+    /// `candidates` must be strictly increasing.
+    pub fn decode_among(&self, candidates: &[u64]) -> Option<Vec<(u64, i8)>> {
+        debug_assert!(
+            candidates.windows(2).all(|w| w[0] < w[1]),
+            "candidates must be strictly increasing"
+        );
+        self.decode_scan(Some(candidates))
+    }
+
+    fn decode_scan(&self, candidates: Option<&[u64]>) -> Option<Vec<(u64, i8)>> {
+        if self.is_zero() {
+            return Some(Vec::new());
+        }
+        let f = self.field;
+
+        // Minimal linear recurrence of the sum sequence. A signed set
+        // {(x_i, c_i)} has p_j = Σ_i (c_i r_i) r_i^(j-1) with r_i = x_i + 1
+        // distinct and nonzero and c_i r_i ≠ 0, so the minimal recurrence
+        // has order exactly the support size and characteristic polynomial
+        // Π_i (X − r_i) — recoverable from 2·capacity sums while the
+        // support is at most `capacity`.
+        let connection = berlekamp_massey(f, &self.sums);
+        let t = connection.len() - 1;
+        if t == 0 || t > self.capacity {
+            return None;
+        }
+
+        // Characteristic polynomial X^t · C(1/X), constant term first.
+        let char_poly: Vec<u64> = connection.iter().rev().copied().collect();
+
+        // Roots among the (shifted) candidate elements.
+        let mut support = Vec::with_capacity(t);
+        let mut scan = |x: u64| -> bool {
+            if f.eval_poly(&char_poly, f.reduce(x + 1)) == 0 {
+                support.push(x);
+                return support.len() > t;
+            }
+            false
+        };
+        match candidates {
+            Some(list) => {
+                for &x in list {
+                    debug_assert!(x < self.universe, "candidate outside universe");
+                    if scan(x) {
+                        break;
+                    }
+                }
+            }
+            None => {
+                for x in 0..self.universe {
+                    if scan(x) {
+                        break;
+                    }
+                }
+            }
+        }
+        if support.len() != t {
+            return None;
+        }
+
+        // Solve the transposed Vandermonde system
+        // Σ_i c_i r_i^j = p_j (j = 1, …, t) for the multiplicities c_i.
+        let roots: Vec<u64> = support.iter().map(|&x| f.reduce(x + 1)).collect();
+        let mut matrix = vec![vec![0u64; t + 1]; t];
+        for (j, row) in matrix.iter_mut().enumerate() {
+            for (i, &r) in roots.iter().enumerate() {
+                row[i] = f.pow(r, (j + 1) as u64);
+            }
+            row[t] = self.sums[j];
+        }
+        let coefficients = solve_linear_system(f, &mut matrix)?;
+
+        // Multiplicities must be ±1, and the full 2k sums must reproduce.
+        let mut signed = Vec::with_capacity(t);
+        let mut check = SignedPowerSumSketch::new(self.universe, self.capacity);
+        for (&x, &c) in support.iter().zip(&coefficients) {
+            if c == 1 {
+                check.add(x);
+                signed.push((x, 1i8));
+            } else if c == f.modulus() - 1 {
+                check.remove(x);
+                signed.push((x, -1i8));
+            } else {
+                return None;
+            }
+        }
+        if check.sums == self.sums {
+            Some(signed)
+        } else {
+            None
+        }
+    }
+
+    /// Number of bits needed to transmit this sketch: `2 · capacity` field
+    /// elements.
+    pub fn encoded_bits(&self) -> usize {
+        signed_sketch_bits(self.universe, self.capacity)
+    }
+}
+
+/// Berlekamp–Massey over `F_p`: the connection polynomial
+/// `C(X) = 1 + c_1 X + … + c_L X^L` of the minimal recurrence
+/// `Σ_{i=0}^{L} c_i · s_{n-i} = 0` (with `c_0 = 1`) satisfied by the whole
+/// sequence. Returns the `L + 1` coefficients `[1, c_1, …, c_L]`.
+fn berlekamp_massey(f: PrimeField, sequence: &[u64]) -> Vec<u64> {
+    let n = sequence.len();
+    let mut current = vec![0u64; n + 1];
+    let mut previous = vec![0u64; n + 1];
+    current[0] = 1;
+    previous[0] = 1;
+    let mut order = 0usize; // L, the current recurrence order
+    let mut gap = 1usize; // steps since `previous` last failed
+    let mut last_discrepancy = 1u64;
+    for i in 0..n {
+        let mut discrepancy = sequence[i];
+        for j in 1..=order {
+            discrepancy = f.add(discrepancy, f.mul(current[j], sequence[i - j]));
+        }
+        if discrepancy == 0 {
+            gap += 1;
+            continue;
+        }
+        let scale = f.mul(discrepancy, f.inv(last_discrepancy));
+        if 2 * order <= i {
+            let stale = current.clone();
+            for j in 0..=(n - gap) {
+                current[j + gap] = f.sub(current[j + gap], f.mul(scale, previous[j]));
+            }
+            order = i + 1 - order;
+            previous = stale;
+            last_discrepancy = discrepancy;
+            gap = 1;
+        } else {
+            for j in 0..=(n - gap) {
+                current[j + gap] = f.sub(current[j + gap], f.mul(scale, previous[j]));
+            }
+            gap += 1;
+        }
+    }
+    current.truncate(order + 1);
+    current
+}
+
+/// Gaussian elimination over `F_p` on an augmented `t × (t + 1)` system;
+/// returns the solution vector, or `None` if the matrix is singular.
+fn solve_linear_system(f: PrimeField, matrix: &mut [Vec<u64>]) -> Option<Vec<u64>> {
+    let t = matrix.len();
+    for col in 0..t {
+        let pivot = (col..t).find(|&r| matrix[r][col] != 0)?;
+        matrix.swap(col, pivot);
+        let inv = f.inv(matrix[col][col]);
+        for value in &mut matrix[col][col..=t] {
+            *value = f.mul(*value, inv);
+        }
+        let pivot_row = matrix[col].clone();
+        for (row, entries) in matrix.iter_mut().enumerate() {
+            if row != col && entries[col] != 0 {
+                let factor = entries[col];
+                for (value, &p) in entries[col..=t].iter_mut().zip(&pivot_row[col..=t]) {
+                    *value = f.sub(*value, f.mul(factor, p));
+                }
+            }
+        }
+    }
+    Some((0..t).map(|i| matrix[i][t]).collect())
+}
+
+/// Number of bits needed to transmit a signed sketch over
+/// `{0,…,universe-1}` with the given capacity: `2 · capacity` field
+/// elements of `O(log universe)` bits each — no count word, since the
+/// signed cardinality carries no support information.
+pub fn signed_sketch_bits(universe: u64, capacity: usize) -> usize {
+    let field = PrimeField::for_universe(universe + 1, capacity as u64);
+    2 * capacity * field.element_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_sketch_decodes_to_empty_set() {
+        let sketch = SignedPowerSumSketch::new(64, 4);
+        assert!(sketch.is_zero());
+        assert_eq!(sketch.decode(), Some(vec![]));
+    }
+
+    #[test]
+    fn signed_sets_round_trip() {
+        for set in [
+            vec![(0u64, 1i8)],
+            vec![(0, -1)],
+            vec![(3, 1), (17, -1)],
+            vec![(5, -1), (9, -1), (49, -1)],
+            vec![(10, 1), (20, -1), (30, 1), (40, -1)],
+        ] {
+            let mut sketch = SignedPowerSumSketch::new(50, 4);
+            for &(x, sign) in &set {
+                if sign > 0 {
+                    sketch.add(x);
+                } else {
+                    sketch.remove(x);
+                }
+            }
+            assert_eq!(sketch.decode(), Some(set.clone()), "failed for {set:?}");
+        }
+    }
+
+    #[test]
+    fn cancellation_of_opposite_signs() {
+        let mut a = SignedPowerSumSketch::new(40, 3);
+        a.add(7);
+        a.add(12);
+        let mut b = SignedPowerSumSketch::new(40, 3);
+        b.remove(7);
+        b.add(31);
+        a.merge(&b);
+        assert_eq!(a.decode(), Some(vec![(12, 1), (31, 1)]));
+        let mut c = SignedPowerSumSketch::new(40, 3);
+        c.add(12);
+        c.add(31);
+        a.subtract(&c);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn over_capacity_fails_cleanly_and_peels_back() {
+        let mut sketch = SignedPowerSumSketch::new(30, 3);
+        for x in [1u64, 2, 3, 4] {
+            sketch.add(x);
+        }
+        assert_eq!(sketch.decode(), None);
+        let mut peel = SignedPowerSumSketch::new(30, 3);
+        peel.add(4);
+        sketch.subtract(&peel);
+        assert_eq!(sketch.decode(), Some(vec![(1, 1), (2, 1), (3, 1)]));
+    }
+
+    #[test]
+    fn non_unit_multiplicities_are_rejected() {
+        let mut sketch = SignedPowerSumSketch::new(30, 3);
+        sketch.add(5);
+        sketch.add(5); // multiplicity 2
+        assert_eq!(sketch.decode(), None);
+        sketch.remove(5);
+        assert_eq!(sketch.decode(), Some(vec![(5, 1)]));
+    }
+
+    #[test]
+    fn decode_among_matches_full_scan_on_supersets() {
+        let mut sketch = SignedPowerSumSketch::new(200, 4);
+        for x in [11u64, 60, 199] {
+            sketch.add(x);
+        }
+        sketch.remove(42);
+        let full = sketch.decode().unwrap();
+        let candidates: Vec<u64> = vec![3, 11, 42, 60, 100, 150, 199];
+        assert_eq!(sketch.decode_among(&candidates), Some(full));
+        // A candidate list missing part of the support fails verification
+        // instead of mis-decoding.
+        assert_eq!(sketch.decode_among(&[11, 42, 60]), None);
+    }
+
+    #[test]
+    fn random_signed_sets_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x516);
+        for trial in 0..40 {
+            let universe = 300u64;
+            let capacity = 1 + (trial % 7);
+            let size = trial % (capacity + 1);
+            let mut all: Vec<u64> = (0..universe).collect();
+            all.shuffle(&mut rng);
+            let mut set: Vec<(u64, i8)> = all
+                .into_iter()
+                .take(size)
+                .map(|x| (x, if rng.gen_bool(0.5) { 1i8 } else { -1 }))
+                .collect();
+            let mut sketch = SignedPowerSumSketch::new(universe, capacity);
+            for &(x, sign) in &set {
+                if sign > 0 {
+                    sketch.add(x);
+                } else {
+                    sketch.remove(x);
+                }
+            }
+            set.sort_unstable();
+            assert_eq!(
+                sketch.decode(),
+                Some(set),
+                "capacity {capacity} size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        let mut sketch = SignedPowerSumSketch::new(100, 4);
+        sketch.add(7);
+        sketch.remove(77);
+        let rebuilt = SignedPowerSumSketch::from_parts(100, 4, sketch.power_sums().to_vec());
+        assert_eq!(rebuilt, sketch);
+        assert_eq!(rebuilt.decode(), Some(vec![(7, 1), (77, -1)]));
+    }
+
+    #[test]
+    fn encoded_bits_scale_as_k_log_n() {
+        assert!(signed_sketch_bits(100, 8) > 3 * signed_sketch_bits(100, 2) / 2);
+        // 2k field elements of ⌈log₂ p⌉ ≈ 7 bits each.
+        assert!(signed_sketch_bits(100, 8) <= 2 * 8 * 8);
+        assert_eq!(
+            SignedPowerSumSketch::new(100, 8).encoded_bits(),
+            signed_sketch_bits(100, 8)
+        );
+    }
+
+    #[test]
+    fn incidence_sum_yields_cut_edges() {
+        // The motivating identity on a 4-cycle 0-1-2-3-0 with edge keys
+        // u·4+v (u < v): summing the incidence sketches of {0, 1} cancels
+        // the internal edge {0,1} and keeps the cut edges {1,2}, {0,3}.
+        let n = 4u64;
+        let edges = [(0u64, 1u64), (1, 2), (2, 3), (0, 3)];
+        let key = |u: u64, v: u64| u * n + v;
+        let mut sketches: Vec<SignedPowerSumSketch> = (0..n)
+            .map(|_| SignedPowerSumSketch::new(n * n, 3))
+            .collect();
+        for &(u, v) in &edges {
+            sketches[u as usize].add(key(u, v));
+            sketches[v as usize].remove(key(u, v));
+        }
+        let mut component = sketches[0].clone();
+        component.merge(&sketches[1]);
+        let decoded = component.decode().unwrap();
+        let support: Vec<u64> = decoded.iter().map(|&(x, _)| x).collect();
+        assert_eq!(support, vec![key(0, 3), key(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_element_panics() {
+        let mut sketch = SignedPowerSumSketch::new(10, 2);
+        sketch.add(10);
+    }
+}

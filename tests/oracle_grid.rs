@@ -1,0 +1,45 @@
+//! Differential oracle grids: every protocol with a sequential reference
+//! implementation is pinned to it over the seeded `(family, n, seed)` grids
+//! of `clique_bench::diff`. A failure reports every disagreeing grid point.
+
+use clique_bench::diff::{assert_protocol_matches_oracle, unweighted_grid, weighted_grid};
+use congested_clique::graphs::iso;
+use congested_clique::{compute_apsp, compute_msf, count_triangles};
+
+/// MST on sketches vs. the Kruskal oracle, up to n = 64. Small maximum
+/// weight (7) guarantees duplicate raw weights, so the grid also pins the
+/// `(w, u, v)` tie-break end to end.
+#[test]
+fn mst_protocol_matches_kruskal_oracle() {
+    let cases = weighted_grid(&[2, 3, 8, 17, 33, 64], &[0x5EED, 0xD1FF], 7);
+    assert_protocol_matches_oracle(
+        "MstProtocol vs Kruskal",
+        &cases,
+        |g| compute_msf(g, 4, 8).unwrap().forest(),
+        iso::minimum_spanning_forest,
+    );
+}
+
+/// The semiring-matmul triangle counter vs. the sequential enumerator.
+#[test]
+fn triangle_count_matches_sequential_oracle() {
+    let cases = unweighted_grid(&[3, 8, 16, 27], &[0x5EED, 0xD1FF]);
+    assert_protocol_matches_oracle(
+        "TriangleCount vs iso::triangle_count",
+        &cases,
+        |g| count_triangles(g, 16).unwrap().output,
+        iso::triangle_count,
+    );
+}
+
+/// Repeated (min, +) squaring APSP vs. per-source BFS.
+#[test]
+fn apsp_matches_bfs_oracle() {
+    let cases = unweighted_grid(&[2, 7, 16, 25], &[0x5EED, 0xD1FF]);
+    assert_protocol_matches_oracle(
+        "ApspProtocol vs iso::bfs_distances",
+        &cases,
+        |g| compute_apsp(g, 16).unwrap().output,
+        iso::bfs_distances,
+    );
+}

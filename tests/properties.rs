@@ -13,7 +13,9 @@ use congested_clique::comm::disjointness::DisjointnessInstance;
 use congested_clique::comm::lbgraph::LowerBoundGraph;
 use congested_clique::graphs::behrend::{behrend_set, is_3ap_free};
 use congested_clique::graphs::degeneracy::{degeneracy_ordering, verify_elimination_order};
+use congested_clique::graphs::weighted::{self, WeightedGraph};
 use congested_clique::graphs::{generators, iso, Graph, Pattern};
+use congested_clique::mst::MstProtocol;
 use congested_clique::sim::prelude::*;
 use congested_clique::sketch::reconstruct::reconstruct;
 use congested_clique::subgraph::detect_subgraph_turan;
@@ -28,6 +30,15 @@ use rand_chacha::ChaCha8Rng;
 fn seeded_graph(n: usize, p: f64, seed: u64) -> Graph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     generators::erdos_renyi(n, p, &mut rng)
+}
+
+/// The `WeightedGraph` strategy, from primitive proptest parameters: a
+/// seeded `G(n, p)` with weights uniform in `1..=max_weight` (small
+/// `max_weight` forces duplicate weights, exercising the `(w, u, v)`
+/// tie-break everywhere).
+fn seeded_weighted_graph(n: usize, p: f64, max_weight: u64, seed: u64) -> WeightedGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    weighted::weighted_erdos_renyi(n, p, max_weight, &mut rng)
 }
 
 /// Asserts the packed-kernel invariant: no bits at or past column `cols` in
@@ -253,6 +264,63 @@ proptest! {
         let g = seeded_graph(n, p, seed);
         let outcome = count_triangles(&g, 4).expect("protocol failed");
         prop_assert_eq!(*outcome, iso::triangle_count(&g));
+    }
+
+    #[test]
+    fn weighted_graph_edges_are_consistent(
+        n in 1usize..40,
+        p in 0.0f64..0.8,
+        max_weight in 1u64..6,
+        seed in 0u64..1000,
+    ) {
+        let g = seeded_weighted_graph(n, p, max_weight, seed);
+        prop_assert_eq!(g.vertex_count(), n);
+        prop_assert_eq!(g.edge_count(), g.edges().count());
+        let mut keys = Vec::new();
+        let mut prev = None;
+        for (u, v, w) in g.edges() {
+            prop_assert!(u < v, "edges are reported with u < v");
+            prop_assert!((1..=max_weight).contains(&w), "weight {} out of range", w);
+            prop_assert_eq!(g.weight(u, v), Some(w));
+            prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+            prop_assert!(prev < Some((u, v)), "edges ascend");
+            prev = Some((u, v));
+            keys.push(g.edge_order_key(u, v));
+        }
+        // The (w, u, v) normalization makes every edge key distinct, so the
+        // minimum spanning forest is unique.
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), keys.len());
+        prop_assert_eq!(g.total_weight(), g.edges().map(|(_, _, w)| w).sum::<u64>());
+    }
+
+    #[test]
+    fn mst_protocol_equals_kruskal_at_one_and_four_workers(
+        n in 1usize..24,
+        p in 0.0f64..0.6,
+        max_weight in 1u64..5,
+        seed in 0u64..1000,
+        base_capacity in 1usize..6,
+    ) {
+        let g = seeded_weighted_graph(n, p, max_weight, seed);
+        let oracle = iso::minimum_spanning_forest(&g);
+        let config = CliqueConfig::broadcast(n, 4);
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let run = Runner::new(config.clone())
+                .with_threads(Some(threads))
+                .execute(&mut MstProtocol::new(&g, base_capacity))
+                .expect("msf run failed");
+            prop_assert_eq!(run.total_weight, oracle.total_weight, "threads {}", threads);
+            prop_assert_eq!(run.forest(), oracle.clone(), "threads {}", threads);
+            runs.push(run);
+        }
+        // Parallelism never changes the transcript: output and ledger are
+        // identical at both worker counts.
+        prop_assert_eq!(&runs[0].output, &runs[1].output);
+        prop_assert_eq!(&runs[0].metrics, &runs[1].metrics);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use congested_clique::adaptive::detect_subgraph_adaptive;
 use congested_clique::circuits::builders;
-use congested_clique::graphs::{extremal, generators, Graph, Pattern};
+use congested_clique::graphs::{extremal, generators, iso, weighted, Graph, Pattern};
+use congested_clique::mst::MstProtocol;
 use congested_clique::routing::{
     BalancedRouter, DirectRouter, RouteProtocol, RoutingDemand, ValiantRouter,
 };
@@ -23,7 +24,9 @@ use congested_clique::trivial::{
     detect_by_full_broadcast, detect_by_gather_to_leader, FullBroadcastDetection,
     GatherToLeaderDetection,
 };
-use congested_clique::{simulate_circuit, CircuitSimulation, InputPartition, TuranSketchDetection};
+use congested_clique::{
+    compute_msf, simulate_circuit, CircuitSimulation, InputPartition, TuranSketchDetection,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -220,6 +223,35 @@ fn circuit_simulation_matches_pre_redesign_counts() {
         (2, 40, 1)
     );
     assert_eq!(sim.outputs, vec![false]);
+}
+
+#[test]
+fn mst_protocol_matches_pinned_counts() {
+    // Fixed weighted instance in the g24 style; small max weight forces
+    // duplicate raw weights through the (w, u, v) tie-break.
+    let mut r = ChaCha8Rng::seed_from_u64(0x5EED);
+    let g = weighted::weighted_erdos_renyi(24, 0.3, 50, &mut r);
+    let run = compute_msf(&g, 4, 5).unwrap();
+    assert_eq!(run.forest(), iso::minimum_spanning_forest(&g));
+    assert_eq!(
+        (
+            run.phases,
+            run.final_capacity,
+            run.rounds(),
+            run.total_bits()
+        ),
+        (5, 64, 749, 89400)
+    );
+    // Through an explicit Runner as well.
+    let config = CliqueConfig::builder()
+        .nodes(24)
+        .bandwidth(5)
+        .broadcast()
+        .build();
+    let direct = Runner::new(config)
+        .execute(&mut MstProtocol::new(&g, 4))
+        .unwrap();
+    assert_eq!((direct.rounds(), direct.total_bits()), (749, 89400));
 }
 
 /// The fixed concentrated demand the router regressions run on.
