@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E15) of EXPERIMENTS.md.
+//! Regenerates every experiment table (E1–E16) of EXPERIMENTS.md.
 //!
 //! Usage:
 //!
@@ -8,92 +8,61 @@
 //! cargo run -p clique-bench --release --bin experiments -- E4 E7   # selected experiments
 //! cargo run -p clique-bench --release --bin experiments -- --json  # machine-readable output
 //! cargo run -p clique-bench --release --bin experiments -- --threads 4 # worker pool size
+//! cargo run -p clique-bench --release --bin experiments -- --list  # registered experiments
 //! ```
 
 use std::time::Instant;
 
-use clique_bench::experiments;
-use clique_bench::{parse_threads_flag, ExperimentTable, Scale};
+use clique_bench::{parse_experiments_args, ExperimentsCommand, Scale, EXPERIMENTS};
 use clique_core::sim::par;
-
-/// One experiment: its id and the function regenerating its table.
-type Experiment = (&'static str, fn(Scale) -> ExperimentTable);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
-    let mut json = false;
-    let mut threads: Option<usize> = None;
-    let mut selected: Vec<String> = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => quick = true,
-            "--json" => json = true,
-            "--threads" => {
-                threads = Some(parse_threads_flag(args.get(i + 1)));
-                i += 1;
+    let run = match parse_experiments_args(&args) {
+        Ok(ExperimentsCommand::List) => {
+            let width = EXPERIMENTS
+                .iter()
+                .map(|e| e.id.len())
+                .max()
+                .unwrap_or_default();
+            for entry in EXPERIMENTS {
+                println!("{:width$}  {}", entry.id, entry.description);
             }
-            flag if flag.starts_with("--") => {
-                eprintln!("error: unknown flag {flag} (expected --quick, --json or --threads N)");
-                std::process::exit(2);
-            }
-            id => selected.push(id.to_uppercase()),
+            return;
         }
-        i += 1;
-    }
-    par::set_threads(threads);
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-
-    let all: Vec<Experiment> = vec![
-        ("E1", experiments::e1_circuit_simulation),
-        ("E2", experiments::e2_routing),
-        ("E3", experiments::e3_triangle_matmul),
-        ("E4", experiments::e4_subgraph_turan),
-        ("E5", experiments::e5_adaptive),
-        ("E6", experiments::e6_lower_bound_cliques),
-        ("E7", experiments::e7_lower_bound_cycles),
-        ("E8", experiments::e8_lower_bound_bipartite),
-        ("E9", experiments::e9_triangle_nof),
-        ("E10", experiments::e10_counting),
-        ("E11", experiments::e11_degeneracy_turan),
-        ("E12", experiments::e12_sketch_reconstruction),
-        ("E13", experiments::e13_semiring_matmul),
-        ("E14", experiments::e14_parallel_scaling),
-        ("E15", experiments::e15_mst_sketches),
-    ];
-
-    let known: Vec<&str> = all.iter().map(|(id, _)| *id).collect();
-    for sel in &selected {
-        if !known.contains(&sel.as_str()) {
-            eprintln!(
-                "error: unknown experiment id {sel} (expected one of {})",
-                known.join(", ")
-            );
+        Ok(ExperimentsCommand::Run(run)) => run,
+        Err(message) => {
+            eprintln!("error: {message}");
             std::process::exit(2);
         }
-    }
+    };
+    par::set_threads(run.threads);
+    let scale = if run.quick { Scale::Quick } else { Scale::Full };
 
     let mut tables = Vec::new();
-    for (id, run) in all {
-        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
+    for entry in EXPERIMENTS {
+        if !run.selected.is_empty() && !run.selected.iter().any(|s| s == entry.id) {
             continue;
         }
-        eprintln!("running {id} ({scale:?}) …");
+        eprintln!("running {} ({scale:?}) …", entry.id);
         let start = Instant::now();
-        let table = run(scale);
+        let table = (entry.run)(scale);
         eprintln!("  done in {:.1?}", start.elapsed());
         tables.push(table);
     }
 
-    if json {
-        let objects: Vec<String> = tables.iter().map(ExperimentTable::to_json).collect();
+    if run.json {
+        let objects: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
         println!("[{}]", objects.join(",\n"));
     } else {
         println!("# Experiment results (congested clique reproduction)\n");
         println!(
             "Scale: {}\n",
-            if quick { "quick (smoke sizes)" } else { "full" }
+            if run.quick {
+                "quick (smoke sizes)"
+            } else {
+                "full"
+            }
         );
         for table in &tables {
             print!("{}", table.to_markdown());

@@ -34,6 +34,7 @@ use clique_core::triangle::{
     detect_triangle_dlp, detect_triangle_trivial, detect_triangle_via_matmul, MatMulStrategy,
 };
 use clique_core::{compute_msf, detect_subgraph_adaptive, simulate_circuit, InputPartition};
+use clique_serve::{JobSpec, Server, ServerConfig};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -1003,25 +1004,190 @@ pub fn e15_mst_sketches(scale: Scale) -> ExperimentTable {
     table
 }
 
+/// E16 — serving layer: the sharded, caching job server returns transcripts
+/// byte-identical to direct `Runner` executions.
+pub fn e16_serve(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E16",
+        "serving layer: sharded caching job server vs direct runs",
+        "served transcripts are byte-identical to direct Runner executions at every fleet size and worker count, same-batch duplicates run once, and a warm resubmission is answered entirely from the transcript cache",
+        &[
+            "protocol",
+            "family",
+            "jobs",
+            "unique",
+            "cold ran",
+            "warm hits",
+            "served = direct",
+            "1 worker = 4 workers",
+        ],
+    );
+    let cases: &[(&str, &str)] = &[
+        ("mst", "weighted_random_tree"),
+        ("triangle-count", "erdos_renyi(p=0.5)"),
+        ("apsp", "erdos_renyi(p=0.15)"),
+        ("c4-turan-sketch", "erdos_renyi(p=0.15)"),
+        ("c4-full-broadcast", "cycle"),
+    ];
+    let sizes: &[usize] = scale.pick(&[6, 9][..], &[6, 9, 14, 20][..]);
+    let seeds: &[u64] = &[0x5EED, 0xD1FF];
+    for &(protocol, family) in cases {
+        let specs: Vec<JobSpec> = sizes
+            .iter()
+            .flat_map(|&n| {
+                let b = log2_bandwidth(n);
+                seeds.iter().map(move |&seed| {
+                    if protocol == "mst" {
+                        JobSpec::weighted(protocol, family, n, b, 2 * n as u64, seed)
+                    } else {
+                        JobSpec::unweighted(protocol, family, n, b, seed)
+                    }
+                })
+            })
+            .collect();
+        // Every spec appears twice in the cold batch, so in-batch dedupe is
+        // exercised alongside the cache.
+        let mix: Vec<JobSpec> = specs.iter().chain(specs.iter()).cloned().collect();
+        let mut fleet = Server::new(ServerConfig {
+            workers: 4,
+            batch_size: 2,
+            ..ServerConfig::default()
+        });
+        let mut solo = Server::new(ServerConfig::default());
+        let cold = fleet.submit_batch(&mix).expect("cold batch failed");
+        let cold_ran = fleet.stats().ran;
+        let warm = fleet.submit_batch(&mix).expect("warm batch failed");
+        let warm_hits = warm.iter().filter(|r| r.cached).count();
+        let solo_results = solo.submit_batch(&mix).expect("solo batch failed");
+        let direct_ok = cold.iter().zip(&warm).all(|(c, w)| {
+            let direct = Server::run_direct(&c.spec).expect("direct run failed");
+            c.record == direct && w.record == direct
+        });
+        let fleet_ok = cold
+            .iter()
+            .zip(&solo_results)
+            .all(|(f, s)| f.record == s.record);
+        table.push_row(vec![
+            protocol.to_owned(),
+            family.to_owned(),
+            mix.len().to_string(),
+            specs.len().to_string(),
+            cold_ran.to_string(),
+            warm_hits.to_string(),
+            direct_ok.to_string(),
+            fleet_ok.to_string(),
+        ]);
+    }
+    table
+}
+
+/// One registered experiment: its id, a one-line description for
+/// `--list`-style output, and the function regenerating its table.
+pub struct ExperimentEntry {
+    /// Stable identifier (`"E1"` … `"E16"`).
+    pub id: &'static str,
+    /// One-line description of what the experiment reproduces.
+    pub description: &'static str,
+    /// Regenerates the experiment's table at the given scale.
+    pub run: fn(Scale) -> ExperimentTable,
+}
+
+/// The experiment registry: the single id → runner table shared by the
+/// `experiments` binary, `run_all` and the docs index.
+pub const EXPERIMENTS: &[ExperimentEntry] = &[
+    ExperimentEntry {
+        id: "E1",
+        description:
+            "Theorem 2: bounded-depth separable-gate circuits simulated in O(depth) rounds",
+        run: e1_circuit_simulation,
+    },
+    ExperimentEntry {
+        id: "E2",
+        description: "Lemma 1 routing: balanced vs direct vs Valiant delivery of bounded demands",
+        run: e2_routing,
+    },
+    ExperimentEntry {
+        id: "E3",
+        description: "Section 2.1: triangle detection via F2 matrix-multiplication circuits",
+        run: e3_triangle_matmul,
+    },
+    ExperimentEntry {
+        id: "E4",
+        description: "Theorem 7: subgraph detection with degeneracy sketches vs Turan-number bound",
+        run: e4_subgraph_turan,
+    },
+    ExperimentEntry {
+        id: "E5",
+        description: "Theorem 9: adaptive detection without knowing ex(n, H)",
+        run: e5_adaptive,
+    },
+    ExperimentEntry {
+        id: "E6",
+        description: "Section 3.4: clique detection lower bounds from disjointness gadgets",
+        run: e6_lower_bound_cliques,
+    },
+    ExperimentEntry {
+        id: "E7",
+        description: "Section 3.5: cycle detection lower bounds",
+        run: e7_lower_bound_cycles,
+    },
+    ExperimentEntry {
+        id: "E8",
+        description: "Section 3.6: bipartite detection lower bounds",
+        run: e8_lower_bound_bipartite,
+    },
+    ExperimentEntry {
+        id: "E9",
+        description: "Section 3.3: triangle number-on-forehead lower bound construction",
+        run: e9_triangle_nof,
+    },
+    ExperimentEntry {
+        id: "E10",
+        description: "counting bounds: Behrend-set sizes behind the lower-bound graphs",
+        run: e10_counting,
+    },
+    ExperimentEntry {
+        id: "E11",
+        description: "degeneracy vs Turan: the quantities driving Theorems 7-9",
+        run: e11_degeneracy_turan,
+    },
+    ExperimentEntry {
+        id: "E12",
+        description: "Becker et al. sketch reconstruction A(G, k): message bits vs bound",
+        run: e12_sketch_reconstruction,
+    },
+    ExperimentEntry {
+        id: "E13",
+        description: "O(n^(1/3))-round distributed semiring matmul, triangle counting, APSP",
+        run: e13_semiring_matmul,
+    },
+    ExperimentEntry {
+        id: "E14",
+        description:
+            "deterministic thread-parallel execution: speedups with byte-identical transcripts",
+        run: e14_parallel_scaling,
+    },
+    ExperimentEntry {
+        id: "E15",
+        description:
+            "deterministic MST on incidence sketches: constant-round plateau vs escalation",
+        run: e15_mst_sketches,
+    },
+    ExperimentEntry {
+        id: "E16",
+        description: "serving layer: sharded caching job server vs direct runs, byte-identical",
+        run: e16_serve,
+    },
+];
+
+/// Looks up an experiment by id.
+pub fn find_experiment(id: &str) -> Option<&'static ExperimentEntry> {
+    EXPERIMENTS.iter().find(|entry| entry.id == id)
+}
+
 /// Runs every experiment at the given scale.
 pub fn run_all(scale: Scale) -> Vec<ExperimentTable> {
-    vec![
-        e1_circuit_simulation(scale),
-        e2_routing(scale),
-        e3_triangle_matmul(scale),
-        e4_subgraph_turan(scale),
-        e5_adaptive(scale),
-        e6_lower_bound_cliques(scale),
-        e7_lower_bound_cycles(scale),
-        e8_lower_bound_bipartite(scale),
-        e9_triangle_nof(scale),
-        e10_counting(scale),
-        e11_degeneracy_turan(scale),
-        e12_sketch_reconstruction(scale),
-        e13_semiring_matmul(scale),
-        e14_parallel_scaling(scale),
-        e15_mst_sketches(scale),
-    ]
+    EXPERIMENTS.iter().map(|entry| (entry.run)(scale)).collect()
 }
 
 #[cfg(test)]
@@ -1095,6 +1261,37 @@ mod tests {
                     "the clique contrast did not escalate"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn experiment_registry_is_complete_and_unique() {
+        assert_eq!(EXPERIMENTS.len(), 16);
+        for (i, entry) in EXPERIMENTS.iter().enumerate() {
+            assert_eq!(entry.id, format!("E{}", i + 1));
+            assert!(!entry.description.is_empty());
+            assert_eq!(find_experiment(entry.id).unwrap().id, entry.id);
+        }
+        assert!(find_experiment("E17").is_none());
+    }
+
+    #[test]
+    fn serve_experiment_rows_are_all_deterministic() {
+        let table = e16_serve(Scale::Quick);
+        let direct_col = table
+            .headers
+            .iter()
+            .position(|h| h == "served = direct")
+            .unwrap();
+        let fleet_col = table
+            .headers
+            .iter()
+            .position(|h| h == "1 worker = 4 workers")
+            .unwrap();
+        assert!(!table.rows.is_empty());
+        for row in &table.rows {
+            assert_eq!(row[direct_col], "true", "served record diverged");
+            assert_eq!(row[fleet_col], "true", "fleet size changed a record");
         }
     }
 

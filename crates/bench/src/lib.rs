@@ -2,7 +2,7 @@
 //!
 //! The paper has no numeric tables or figures (its results are theorems), so
 //! the "tables" this harness regenerates are the per-theorem experiments
-//! listed in DESIGN.md (E1–E15): every experiment runs the corresponding
+//! listed in DESIGN.md (E1–E16): every experiment runs the corresponding
 //! construction over a parameter sweep and reports the measured rounds, bits
 //! or sizes next to the bound the theorem predicts.
 //!
@@ -21,22 +21,165 @@ pub mod experiments;
 pub mod table;
 
 pub use diff::{assert_protocol_matches_oracle, unweighted_grid, weighted_grid, LabeledCase};
-pub use experiments::{run_all, Scale};
+pub use experiments::{run_all, ExperimentEntry, Scale, EXPERIMENTS};
 pub use table::ExperimentTable;
 
 /// Parses the value of a `--threads` CLI flag for the harness binaries;
 /// anything but a positive integer exits with status 2, matching the other
 /// flag errors.
 pub fn parse_threads_flag(value: Option<&String>) -> usize {
-    let Some(value) = value else {
-        eprintln!("error: --threads requires a value (a positive integer)");
-        std::process::exit(2);
-    };
-    match value.parse::<usize>() {
-        Ok(t) if t >= 1 => t,
-        _ => {
-            eprintln!("error: invalid --threads value {value} (expected a positive integer)");
+    match try_parse_threads(value) {
+        Ok(t) => t,
+        Err(message) => {
+            eprintln!("error: {message}");
             std::process::exit(2);
         }
+    }
+}
+
+/// [`parse_threads_flag`] without the exit, for testability and callers
+/// that report errors themselves.
+///
+/// # Errors
+///
+/// Returns the diagnostic to print when the value is missing or not a
+/// positive integer.
+pub fn try_parse_threads(value: Option<&String>) -> Result<usize, String> {
+    let Some(value) = value else {
+        return Err("--threads requires a value (a positive integer)".to_owned());
+    };
+    match value.parse::<usize>() {
+        Ok(t) if t >= 1 => Ok(t),
+        _ => Err(format!(
+            "invalid --threads value {value} (expected a positive integer)"
+        )),
+    }
+}
+
+/// What an `experiments` invocation asks for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExperimentsCommand {
+    /// `--list`: print the registered experiment ids and descriptions.
+    List,
+    /// Regenerate tables.
+    Run(ExperimentsRun),
+}
+
+/// A parsed table-regeneration request.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExperimentsRun {
+    /// `--quick`: smoke sizes instead of the committed full sweep.
+    pub quick: bool,
+    /// `--json`: machine-readable output.
+    pub json: bool,
+    /// `--threads N`: worker-pool override.
+    pub threads: Option<usize>,
+    /// Selected experiment ids (uppercased); empty = all.
+    pub selected: Vec<String>,
+}
+
+/// Parses the `experiments` binary's CLI against the experiment registry.
+///
+/// # Errors
+///
+/// Returns the diagnostic to print (the caller exits with status 2) on an
+/// unknown flag, a bad `--threads` value, or an unknown experiment id.
+pub fn parse_experiments_args(args: &[String]) -> Result<ExperimentsCommand, String> {
+    let mut run = ExperimentsRun::default();
+    let mut list = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--quick" => run.quick = true,
+            "--json" => run.json = true,
+            "--threads" => {
+                run.threads = Some(try_parse_threads(args.get(i + 1))?);
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unknown flag {flag} (expected --list, --quick, --json or --threads N)"
+                ));
+            }
+            id => run.selected.push(id.to_uppercase()),
+        }
+        i += 1;
+    }
+    for id in &run.selected {
+        if experiments::find_experiment(id).is_none() {
+            let known: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
+            return Err(format!(
+                "unknown experiment id {id} (expected one of {})",
+                known.join(", ")
+            ));
+        }
+    }
+    Ok(if list {
+        ExperimentsCommand::List
+    } else {
+        ExperimentsCommand::Run(run)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn list_flag_wins_and_parses() {
+        assert_eq!(
+            parse_experiments_args(&args(&["--list"])),
+            Ok(ExperimentsCommand::List)
+        );
+        // --list combined with other flags still lists (nothing runs).
+        assert_eq!(
+            parse_experiments_args(&args(&["--quick", "--list", "E4"])),
+            Ok(ExperimentsCommand::List)
+        );
+    }
+
+    #[test]
+    fn run_flags_and_ids_parse() {
+        let parsed = parse_experiments_args(&args(&["--quick", "--json", "e4", "E16"])).unwrap();
+        assert_eq!(
+            parsed,
+            ExperimentsCommand::Run(ExperimentsRun {
+                quick: true,
+                json: true,
+                threads: None,
+                selected: vec!["E4".to_owned(), "E16".to_owned()],
+            })
+        );
+        let parsed = parse_experiments_args(&args(&["--threads", "3"])).unwrap();
+        assert_eq!(
+            parsed,
+            ExperimentsCommand::Run(ExperimentsRun {
+                threads: Some(3),
+                ..ExperimentsRun::default()
+            })
+        );
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_a_diagnostic() {
+        assert!(parse_experiments_args(&args(&["--nope"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_experiments_args(&args(&["E99"]))
+            .unwrap_err()
+            .contains("unknown experiment id"));
+        assert!(parse_experiments_args(&args(&["--threads"]))
+            .unwrap_err()
+            .contains("--threads requires a value"));
+        assert!(parse_experiments_args(&args(&["--threads", "0"]))
+            .unwrap_err()
+            .contains("invalid --threads value"));
+        assert!(try_parse_threads(Some(&"x".to_owned())).is_err());
+        assert_eq!(try_parse_threads(Some(&"2".to_owned())), Ok(2));
     }
 }

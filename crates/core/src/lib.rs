@@ -72,6 +72,7 @@ pub mod circuit_sim;
 pub mod lower_bounds;
 pub mod mst;
 pub mod outcome;
+pub mod registry;
 pub mod subgraph;
 pub mod triangle;
 pub mod trivial;
@@ -104,6 +105,9 @@ pub use circuit_sim::{
 };
 pub use mst::{compute_msf, mst_message_bits, MsfOutput, MstProtocol};
 pub use outcome::{CircuitOutput, CircuitSimOutcome, Detection, DetectionOutcome};
+pub use registry::{
+    generate_input, InputKind, JobInput, ProtocolEntry, ProtocolRun, RunOptions, PROTOCOLS,
+};
 pub use subgraph::{
     detect_subgraph_turan, run_reconstruction_protocol, Reconstruction, ReconstructionRun,
     SketchReconstruction, TuranSketchDetection,

@@ -1,0 +1,49 @@
+//! # clique-serve — a sharded, caching simulation job server
+//!
+//! The serving layer over the [`clique_core`] protocol registry. A
+//! [`JobSpec`] names one simulation job — registry protocol id, generated
+//! input label, bandwidth, seed — and encodes to canonical JSON
+//! ([`JobSpec::canonical_json`]: fixed key order, no whitespace). That
+//! encoding is the key of a bounded LRU [`TranscriptCache`], and the whole
+//! design leans on one invariant inherited from the simulator stack:
+//!
+//! > **A job spec fully determines its transcript.** Same spec ⇒
+//! > byte-identical output digest and communication ledger, at any worker
+//! > count, under any transport.
+//!
+//! So a cache hit *is* the answer — [`ServerConfig::verify_hits`] lets the
+//! server prove it per hit by recomputing and byte-comparing.
+//!
+//! [`Server::submit_batch`] shards uncached jobs across a worker fleet by
+//! an FNV-1a hash of the key and runs them in waves on
+//! [`clique_core::sim::par`], each worker draining up to
+//! [`ServerConfig::batch_size`] jobs of its shard per spawn.
+//!
+//! # Examples
+//!
+//! ```
+//! use clique_serve::{JobSpec, Server, ServerConfig};
+//!
+//! # fn main() -> Result<(), clique_serve::ServeError> {
+//! let mut server = Server::new(ServerConfig::default());
+//! let spec = JobSpec::weighted("mst", "weighted_random_tree", 12, 8, 7, 0x5EED);
+//!
+//! let cold = server.run_job(&spec)?;
+//! let warm = server.run_job(&spec)?;
+//! assert!(!cold.cached && warm.cached);
+//! assert_eq!(cold.record, warm.record);
+//! assert_eq!(cold.record, Server::run_direct(&spec)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod server;
+pub mod spec;
+
+pub use cache::{CacheStats, TranscriptCache};
+pub use server::{encode_record, fnv64, JobResult, ServeError, Server, ServerConfig, ServerStats};
+pub use spec::{JobSpec, SpecParseError};

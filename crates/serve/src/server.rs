@@ -1,0 +1,535 @@
+//! The job server: a sharded, batching worker fleet fronted by the
+//! transcript cache.
+//!
+//! [`Server::submit_batch`] takes a slice of [`JobSpec`]s and returns one
+//! [`JobResult`] per spec, in submission order. Jobs whose canonical key is
+//! cached are answered without running anything; the remaining *unique*
+//! keys are sharded across `workers` by an FNV-1a hash of the key and
+//! processed in waves — each wave is a single
+//! [`par::map`] spawn in which every worker
+//! drains up to `batch_size` jobs of its own shard, so small jobs amortize
+//! thread-spawn cost instead of paying it per job.
+//!
+//! Correctness never depends on the cache: every record is a deterministic
+//! function of its key, and [`ServerConfig::verify_hits`] makes the server
+//! prove it per hit by recomputing and byte-comparing.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use clique_core::registry::{self, InputKind, RunOptions};
+use clique_core::sim::{par, Metrics, SimError};
+
+use crate::cache::{CacheStats, TranscriptCache};
+use crate::spec::JobSpec;
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker-fleet size jobs are sharded across.
+    pub workers: usize,
+    /// Maximum jobs one worker runs per wave (the batching grain).
+    pub batch_size: usize,
+    /// Transcript-cache capacity bound.
+    pub cache_capacity: usize,
+    /// When set, every cache hit is re-executed and byte-compared against
+    /// the stored record ([`ServeError::CacheDivergence`] on mismatch).
+    pub verify_hits: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            batch_size: 8,
+            cache_capacity: 1024,
+            verify_hits: false,
+        }
+    }
+}
+
+/// Everything that can go wrong serving a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The spec names a protocol id absent from the registry.
+    UnknownProtocol(String),
+    /// The spec names an input family the protocol's kind does not accept.
+    UnknownFamily {
+        /// The protocol id of the spec.
+        protocol: String,
+        /// The rejected family name.
+        family: String,
+    },
+    /// A structurally invalid spec (zero sizes, missing weight bound).
+    InvalidSpec {
+        /// Canonical key of the offending spec.
+        key: String,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// A verified cache hit did not match its recomputation — a broken
+    /// determinism contract, never expected in practice.
+    CacheDivergence {
+        /// Canonical key of the divergent entry.
+        key: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownProtocol(id) => write!(f, "unknown protocol id {id:?}"),
+            ServeError::UnknownFamily { protocol, family } => {
+                write!(
+                    f,
+                    "protocol {protocol:?} accepts no input family {family:?}"
+                )
+            }
+            ServeError::InvalidSpec { key, reason } => {
+                write!(f, "invalid job spec {key}: {reason}")
+            }
+            ServeError::Sim(err) => write!(f, "simulation failed: {err}"),
+            ServeError::CacheDivergence { key } => {
+                write!(f, "cache entry for {key} diverged from a fresh run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sim(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(err: SimError) -> Self {
+        ServeError::Sim(err)
+    }
+}
+
+/// One served job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobResult {
+    /// The spec as submitted.
+    pub spec: JobSpec,
+    /// Its canonical cache key.
+    pub key: String,
+    /// The encoded run record (output digest + full ledger; see
+    /// [`Server::run_direct`]).
+    pub record: String,
+    /// True when the record came from the transcript cache.
+    pub cached: bool,
+}
+
+/// Lifetime counters of a [`Server`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Jobs submitted (including cache hits and duplicates).
+    pub jobs: u64,
+    /// Jobs actually executed by the fleet.
+    pub ran: u64,
+    /// Waves dispatched (= `par::map` spawns).
+    pub waves: u64,
+    /// Transcript-cache counters.
+    pub cache: CacheStats,
+}
+
+/// A sharded, caching simulation job server.
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+    cache: TranscriptCache,
+    jobs: u64,
+    ran: u64,
+    waves: u64,
+}
+
+impl Server {
+    /// Creates a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `batch_size` or `cache_capacity` is zero.
+    pub fn new(config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "server needs at least one worker");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        Self {
+            cache: TranscriptCache::new(config.cache_capacity),
+            config,
+            jobs: 0,
+            ran: 0,
+            waves: 0,
+        }
+    }
+
+    /// The configuration the server was built with.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            jobs: self.jobs,
+            ran: self.ran,
+            waves: self.waves,
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Serves a single job (a one-element [`Self::submit_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::submit_batch`].
+    pub fn run_job(&mut self, spec: &JobSpec) -> Result<JobResult, ServeError> {
+        let mut results = self.submit_batch(std::slice::from_ref(spec))?;
+        Ok(results.pop().expect("one spec yields one result"))
+    }
+
+    /// Serves a batch of jobs, returning one result per spec in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid spec (unknown protocol/family, zero
+    /// sizes), the first [`SimError`] of the fleet (in submission order of
+    /// the failing job), or a [`ServeError::CacheDivergence`] under
+    /// [`ServerConfig::verify_hits`]. Nothing is cached from a failed
+    /// batch's failing job; earlier completed jobs of the batch stay
+    /// cached.
+    pub fn submit_batch(&mut self, specs: &[JobSpec]) -> Result<Vec<JobResult>, ServeError> {
+        for spec in specs {
+            validate(spec)?;
+        }
+        self.jobs += specs.len() as u64;
+
+        // Pass 1: resolve cache hits, collect unique misses in first-
+        // appearance order. Duplicate occurrences of one key stay `None`
+        // and are filled from the freshly computed record below.
+        let mut results: Vec<Option<JobResult>> = Vec::with_capacity(specs.len());
+        let mut missing: Vec<(usize, String)> = Vec::new();
+        let mut seen_missing: HashSet<String> = HashSet::new();
+        for (idx, spec) in specs.iter().enumerate() {
+            let key = spec.canonical_json();
+            match self.cache.get(&key) {
+                Some(record) => {
+                    if self.config.verify_hits {
+                        let fresh = Self::run_direct(spec)?;
+                        if fresh != record {
+                            return Err(ServeError::CacheDivergence { key });
+                        }
+                    }
+                    results.push(Some(JobResult {
+                        spec: spec.clone(),
+                        key,
+                        record,
+                        cached: true,
+                    }));
+                }
+                None => {
+                    if seen_missing.insert(key.clone()) {
+                        missing.push((idx, key));
+                    }
+                    results.push(None);
+                }
+            }
+        }
+
+        // Pass 2: shard unique misses across the fleet by key hash, then
+        // run them in waves of at most `batch_size` jobs per worker per
+        // spawn.
+        let workers = self.config.workers;
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (slot, (_, key)) in missing.iter().enumerate() {
+            shards[(fnv64(key.as_bytes()) % workers as u64) as usize].push(slot);
+        }
+        let mut computed: Vec<Option<Result<String, SimError>>> = vec![None; missing.len()];
+        let mut cursors = vec![0usize; workers];
+        while cursors
+            .iter()
+            .zip(&shards)
+            .any(|(&cur, shard)| cur < shard.len())
+        {
+            let batch_size = self.config.batch_size;
+            let wave: Vec<Vec<usize>> = (0..workers)
+                .map(|w| {
+                    let end = (cursors[w] + batch_size).min(shards[w].len());
+                    let slots = shards[w][cursors[w]..end].to_vec();
+                    cursors[w] = end;
+                    slots
+                })
+                .collect();
+            let wave_results: Vec<Vec<(usize, Result<String, SimError>)>> =
+                par::map(workers, workers, |w| {
+                    wave[w]
+                        .iter()
+                        .map(|&slot| (slot, Self::run_direct_raw(&specs[missing[slot].0])))
+                        .collect()
+                });
+            self.waves += 1;
+            for (slot, outcome) in wave_results.into_iter().flatten() {
+                computed[slot] = Some(outcome);
+            }
+        }
+
+        // Propagate the first failure in submission order of the misses.
+        for outcome in &computed {
+            if let Some(Err(err)) = outcome {
+                return Err(ServeError::Sim(err.clone()));
+            }
+        }
+
+        // Cache fresh records (ascending first-appearance order) and fill
+        // every remaining submission slot.
+        let mut fresh: Vec<(String, String)> = Vec::with_capacity(missing.len());
+        for (slot, (_, key)) in missing.iter().enumerate() {
+            let record = computed[slot]
+                .take()
+                .expect("every miss was computed")
+                .expect("errors were propagated above");
+            self.cache.insert(key.clone(), record.clone());
+            self.ran += 1;
+            fresh.push((key.clone(), record));
+        }
+        for (idx, spec) in specs.iter().enumerate() {
+            if results[idx].is_none() {
+                let key = spec.canonical_json();
+                let record = fresh
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, r)| r.clone())
+                    .expect("every uncached key was computed this batch");
+                results[idx] = Some(JobResult {
+                    spec: spec.clone(),
+                    key,
+                    record,
+                    cached: false,
+                });
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("slot filled"))
+            .collect())
+    }
+
+    /// Runs `spec` directly — no cache, no fleet. The reference the
+    /// differential tests compare served records against.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Self::submit_batch`] on an invalid spec or a
+    /// [`SimError`].
+    pub fn run_direct(spec: &JobSpec) -> Result<String, ServeError> {
+        validate(spec)?;
+        Self::run_direct_raw(spec).map_err(ServeError::from)
+    }
+
+    /// [`Self::run_direct`] minus validation (specs reaching the fleet are
+    /// already validated).
+    fn run_direct_raw(spec: &JobSpec) -> Result<String, SimError> {
+        let entry = registry::find(&spec.protocol).expect("spec was validated");
+        let input =
+            registry::generate_input(entry.kind, &spec.family, spec.n, spec.seed, spec.max_weight)
+                .expect("spec was validated");
+        let options = RunOptions {
+            bandwidth: spec.bandwidth,
+            threads: if spec.threads == 0 {
+                None
+            } else {
+                Some(spec.threads)
+            },
+        };
+        let run = entry.run(&input, &options)?;
+        Ok(encode_record(&run.output, &run.metrics))
+    }
+}
+
+/// Rejects structurally invalid specs before any work is scheduled.
+fn validate(spec: &JobSpec) -> Result<(), ServeError> {
+    let entry = registry::find(&spec.protocol)
+        .ok_or_else(|| ServeError::UnknownProtocol(spec.protocol.clone()))?;
+    let known = match entry.kind {
+        InputKind::Unweighted => registry::UNWEIGHTED_FAMILIES,
+        InputKind::Weighted => registry::WEIGHTED_FAMILIES,
+    };
+    if !known.contains(&spec.family.as_str()) {
+        return Err(ServeError::UnknownFamily {
+            protocol: spec.protocol.clone(),
+            family: spec.family.clone(),
+        });
+    }
+    let invalid = |reason| {
+        Err(ServeError::InvalidSpec {
+            key: spec.canonical_json(),
+            reason,
+        })
+    };
+    if spec.n == 0 {
+        return invalid("n must be positive");
+    }
+    if spec.bandwidth == 0 {
+        return invalid("bandwidth must be positive");
+    }
+    if entry.kind == InputKind::Weighted && spec.max_weight == 0 {
+        return invalid("weighted families need max_weight >= 1");
+    }
+    Ok(())
+}
+
+/// Encodes a run as the canonical record stored in the cache: the output
+/// digest, the flat ledger, and an FNV-1a digest of the full phase trail
+/// (so the record pins every per-phase ledger row without storing it).
+pub fn encode_record(output: &str, metrics: &Metrics) -> String {
+    let mut trail = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            trail ^= u64::from(b);
+            trail = trail.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for phase in &metrics.phases {
+        mix(phase.label.as_bytes());
+        mix(&phase.rounds.to_le_bytes());
+        mix(&phase.bits.to_le_bytes());
+        mix(&phase.messages.to_le_bytes());
+        mix(&phase.max_link_bits_per_round.to_le_bytes());
+        mix(&[u8::from(phase.strict_rounds)]);
+    }
+    format!(
+        "{{\"output\":{},\"rounds\":{},\"total_bits\":{},\"messages\":{},\
+         \"max_link_bits_per_round\":{},\"phases\":{},\"phase_digest\":\"{:016x}\"}}",
+        output,
+        metrics.rounds,
+        metrics.total_bits,
+        metrics.messages,
+        metrics.max_link_bits_per_round,
+        metrics.phases.len(),
+        trail
+    )
+}
+
+/// FNV-1a, the shard function: fast, dependency-free and stable across
+/// platforms (so a given key always lands on the same worker).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mst_spec(n: usize, seed: u64) -> JobSpec {
+        JobSpec::weighted("mst", "weighted_random_tree", n, 8, 7, seed)
+    }
+
+    #[test]
+    fn cold_then_warm_serves_identical_records() {
+        let mut server = Server::new(ServerConfig::default());
+        let spec = mst_spec(10, 0x5EED);
+        let cold = server.run_job(&spec).unwrap();
+        assert!(!cold.cached);
+        let warm = server.run_job(&spec).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.record, warm.record);
+        assert_eq!(cold.record, Server::run_direct(&spec).unwrap());
+        let stats = server.stats();
+        assert_eq!(stats.jobs, 2);
+        assert_eq!(stats.ran, 1);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn duplicates_in_one_batch_run_once() {
+        let mut server = Server::new(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let spec = mst_spec(8, 1);
+        let other = mst_spec(8, 2);
+        let results = server
+            .submit_batch(&[spec.clone(), other.clone(), spec.clone()])
+            .unwrap();
+        assert_eq!(server.stats().ran, 2, "duplicate key ran once");
+        assert_eq!(results[0].record, results[2].record);
+        assert!(
+            !results[2].cached,
+            "same-batch duplicate is not a cache hit"
+        );
+        assert_ne!(results[0].record, results[1].record);
+    }
+
+    #[test]
+    fn sharded_fleet_matches_direct_runs() {
+        let mut server = Server::new(ServerConfig {
+            workers: 4,
+            batch_size: 2,
+            ..ServerConfig::default()
+        });
+        let specs: Vec<JobSpec> = (0..9).map(|i| mst_spec(6 + i % 3, i as u64)).collect();
+        let results = server.submit_batch(&specs).unwrap();
+        for (spec, result) in specs.iter().zip(&results) {
+            assert_eq!(result.record, Server::run_direct(spec).unwrap());
+        }
+        assert!(server.stats().waves >= 2, "batching forced multiple waves");
+    }
+
+    #[test]
+    fn verify_hits_accepts_deterministic_entries() {
+        let mut server = Server::new(ServerConfig {
+            verify_hits: true,
+            ..ServerConfig::default()
+        });
+        let spec = JobSpec::unweighted("triangle-count", "erdos_renyi(p=0.5)", 9, 16, 3);
+        let cold = server.run_job(&spec).unwrap();
+        let warm = server.run_job(&spec).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.record, warm.record);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_up_front() {
+        let mut server = Server::new(ServerConfig::default());
+        assert!(matches!(
+            server.run_job(&JobSpec::unweighted("no-such", "path", 4, 1, 0)),
+            Err(ServeError::UnknownProtocol(_))
+        ));
+        assert!(matches!(
+            server.run_job(&JobSpec::unweighted("apsp", "weighted_path", 4, 1, 0)),
+            Err(ServeError::UnknownFamily { .. })
+        ));
+        assert!(matches!(
+            server.run_job(&JobSpec::unweighted("apsp", "path", 0, 1, 0)),
+            Err(ServeError::InvalidSpec { .. })
+        ));
+        assert!(matches!(
+            server.run_job(&JobSpec::weighted("mst", "weighted_path", 4, 8, 0, 0)),
+            Err(ServeError::InvalidSpec { .. })
+        ));
+        assert_eq!(server.stats().jobs, 0, "rejected batches count no jobs");
+    }
+
+    #[test]
+    fn thread_hint_does_not_change_records_or_keys() {
+        let spec = mst_spec(9, 0xAB);
+        let hinted = spec.clone().with_threads(4);
+        assert_eq!(spec.canonical_json(), hinted.canonical_json());
+        assert_eq!(
+            Server::run_direct(&spec).unwrap(),
+            Server::run_direct(&hinted).unwrap()
+        );
+    }
+}

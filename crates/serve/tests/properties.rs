@@ -1,0 +1,90 @@
+//! Property tests of the serving layer's canonical encoding: every spec
+//! round-trips through its canonical JSON, and distinct specs never
+//! collide as cache keys (the injectivity the transcript cache relies on).
+
+use clique_serve::JobSpec;
+use proptest::prelude::*;
+
+/// A name alphabet that stresses the escaper: quotes, backslashes,
+/// newlines, tabs, raw control characters, and multi-byte UTF-8.
+const NAME_CHARS: &[char] = &[
+    'a', 'b', 'z', '0', '9', '-', '_', '(', ')', '.', '=', ' ', '"', '\\', '\n', '\r', '\t',
+    '\u{1}', '\u{1f}', 'é', 'λ', '🌀',
+];
+
+/// Builds a name from alphabet indices (the vendored proptest stub has no
+/// `prop_map`, so composite values are assembled inside the test body).
+fn name_from(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| NAME_CHARS[i % NAME_CHARS.len()])
+        .collect()
+}
+
+/// Builds a spec from primitive strategy outputs.
+fn spec_from(names: &[Vec<usize>; 2], nums: (u64, u64, u64, u64), threads: usize) -> JobSpec {
+    JobSpec {
+        protocol: name_from(&names[0]),
+        family: name_from(&names[1]),
+        n: nums.0 as usize,
+        bandwidth: nums.1 as usize,
+        max_weight: nums.2,
+        seed: nums.3,
+        threads,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn canonical_json_round_trips(
+        protocol in prop::collection::vec(0usize..22, 0..12),
+        family in prop::collection::vec(0usize..22, 0..12),
+        nums in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        threads in 0usize..9,
+    ) {
+        // Keep n/bandwidth within usize on every platform.
+        let nums = (nums.0 >> 1, nums.1 >> 1, nums.2, nums.3);
+        let spec = spec_from(&[protocol, family], nums, threads);
+        let encoded = spec.canonical_json();
+        let parsed = JobSpec::from_canonical_json(&encoded).unwrap();
+        // threads is an execution hint: it is dropped by the encoding.
+        prop_assert_eq!(&parsed, &spec.clone().with_threads(0));
+        prop_assert_eq!(parsed.canonical_json(), encoded);
+    }
+
+    #[test]
+    fn cache_keys_collide_exactly_on_equal_specs(
+        a_names in (prop::collection::vec(0usize..22, 0..4), prop::collection::vec(0usize..22, 0..4)),
+        b_names in (prop::collection::vec(0usize..22, 0..4), prop::collection::vec(0usize..22, 0..4)),
+        a_nums in (0u64..3, 0u64..3, 0u64..3, 0u64..3),
+        b_nums in (0u64..3, 0u64..3, 0u64..3, 0u64..3),
+    ) {
+        // Small domains on purpose: equal pairs must actually occur so the
+        // "collide" direction of the iff is exercised, not just "differ".
+        let a = spec_from(&[a_names.0, a_names.1], a_nums, 0);
+        let b = spec_from(&[b_names.0, b_names.1], b_nums, 1);
+        let same = a.clone().with_threads(0) == b.clone().with_threads(0);
+        prop_assert_eq!(a.canonical_json() == b.canonical_json(), same);
+    }
+
+    #[test]
+    fn varying_one_field_changes_the_key(
+        protocol in prop::collection::vec(0usize..22, 0..12),
+        family in prop::collection::vec(0usize..22, 0..12),
+        nums in (0u64..1000, 0u64..1000, any::<u64>(), any::<u64>()),
+    ) {
+        let spec = spec_from(&[protocol, family], nums, 0);
+        let key = spec.canonical_json();
+        let mut other = spec.clone();
+        other.seed = spec.seed.wrapping_add(1);
+        prop_assert_ne!(other.canonical_json(), key.clone());
+        let mut other = spec.clone();
+        other.n = spec.n.wrapping_add(1);
+        prop_assert_ne!(other.canonical_json(), key.clone());
+        let mut other = spec.clone();
+        other.protocol.push('x');
+        prop_assert_ne!(other.canonical_json(), key);
+    }
+}

@@ -9,12 +9,11 @@
 //! charges rounds with the same accounting but lets algorithms hand over
 //! arbitrarily long logical messages.
 
-use std::sync::Arc;
-
 use crate::metrics::{Metrics, RunReport};
 use crate::model::{CliqueConfig, SimError};
 use crate::node::{validate_outbox, Inbox, NodeAlgorithm, NodeCtx, NodeId, Outbox};
 use crate::par;
+use crate::transport::Transport;
 
 /// Synchronous round-by-round executor for a homogeneous set of players.
 ///
@@ -78,6 +77,9 @@ pub struct RoundEngine<A> {
     /// Per-engine worker-count override; `None` uses the default
     /// resolution (see [`par::workers`]).
     threads: Option<usize>,
+    /// The message-delivery backend; accounting happens before delivery,
+    /// so the ledger is identical under every backend.
+    transport: Box<dyn Transport>,
 }
 
 impl<A: NodeAlgorithm> RoundEngine<A> {
@@ -106,7 +108,20 @@ impl<A: NodeAlgorithm> RoundEngine<A> {
             outboxes: vec![Outbox::new(); n],
             seen: Vec::with_capacity(n),
             threads: None,
+            transport: crate::transport::default_transport(),
         }
+    }
+
+    /// Replaces the message-delivery backend. Transports never change
+    /// transcripts (see [`transport`](crate::transport)); the knob only
+    /// swaps delivery mechanics.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.transport = transport;
+    }
+
+    /// The message-delivery backend in use.
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
     }
 
     /// The model configuration.
@@ -211,7 +226,10 @@ impl<A: NodeAlgorithm> RoundEngine<A> {
             );
         }
 
-        // Validate and deliver, strictly in ascending sender order.
+        // Validate, account and deliver, strictly in ascending sender
+        // order. The ledger is computed from the outbox *before* the
+        // transport sees it, so no delivery backend can change what the
+        // round charges.
         let mut bits = 0u64;
         let mut messages = 0u64;
         let mut max_link = 0u64;
@@ -220,21 +238,16 @@ impl<A: NodeAlgorithm> RoundEngine<A> {
             let outbox = &mut self.outboxes[i];
             let sent = validate_outbox(sender, outbox, &self.config, true, &mut self.seen)?;
             bits += sent;
-            for (dst, msg) in outbox.unicasts.drain(..) {
+            for (_, msg) in &outbox.unicasts {
                 max_link = max_link.max(msg.len() as u64);
                 messages += 1;
-                self.next_inboxes[dst.index()].insert_owned(sender, msg);
             }
-            if let Some(msg) = outbox.broadcast.take() {
+            if let Some(msg) = &outbox.broadcast {
                 max_link = max_link.max(msg.len() as u64);
-                // One shared allocation per broadcast, a pointer clone per
-                // receiver.
-                let shared = Arc::new(msg);
-                for dst in self.config.topology.neighbors(sender, n) {
-                    messages += 1;
-                    self.next_inboxes[dst.index()].insert_shared(sender, Arc::clone(&shared));
-                }
+                messages += self.config.topology.degree(sender, n) as u64;
             }
+            self.transport
+                .deliver_round(&self.config, sender, outbox, &mut self.next_inboxes);
         }
 
         self.metrics.record_round(bits, messages, max_link);

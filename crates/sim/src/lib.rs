@@ -38,6 +38,13 @@
 //! worker count (knob: [`par::set_threads`], `CLIQUE_THREADS`, or the
 //! per-engine `set_threads`).
 //!
+//! Message delivery itself is pluggable: both engines hand validated
+//! outboxes to a [`transport::Transport`] backend (zero-copy in-memory by
+//! default, mpsc-channel ownership transfer as a cross-check), and because
+//! all accounting happens before delivery, *the transport never changes
+//! transcripts* (knob: [`transport::set_default_kind`], `CLIQUE_TRANSPORT`,
+//! or the per-engine `set_transport`).
+//!
 //! # Examples
 //!
 //! ```
@@ -74,6 +81,7 @@ pub mod par;
 pub mod phase;
 pub mod protocol;
 pub mod session;
+pub mod transport;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
@@ -89,6 +97,7 @@ pub mod prelude {
     pub use crate::phase::{PhaseEngine, PhaseInbox, PhaseOutbox};
     pub use crate::protocol::{Protocol, Runner, SweepPoint};
     pub use crate::session::{NodeRun, Session};
+    pub use crate::transport::{ChannelTransport, InMemoryTransport, Transport, TransportKind};
 }
 
 pub use bits::BitString;
@@ -100,3 +109,4 @@ pub use outcome::RunOutcome;
 pub use phase::PhaseEngine;
 pub use protocol::{Protocol, Runner, SweepPoint};
 pub use session::{NodeRun, Session};
+pub use transport::{ChannelTransport, InMemoryTransport, Transport, TransportKind};

@@ -59,6 +59,15 @@ impl Topology {
         }
     }
 
+    /// The number of neighbours of `u` among `n` players (`u` must be a
+    /// valid player), without materializing the neighbour list.
+    pub fn degree(&self, u: NodeId, n: usize) -> usize {
+        match self {
+            Topology::Clique => n.saturating_sub(1),
+            Topology::Graph(adj) => adj.degree(u),
+        }
+    }
+
     /// The neighbours of `u` among `n` players.
     pub fn neighbors(&self, u: NodeId, n: usize) -> Vec<NodeId> {
         match self {
@@ -126,6 +135,11 @@ impl AdjacencyTopology {
             .get(u.index())
             .map(|list| list.iter().copied().map(NodeId::new).collect())
             .unwrap_or_default()
+    }
+
+    /// The degree of `u` (0 for out-of-range nodes).
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency.get(u.index()).map_or(0, Vec::len)
     }
 }
 

@@ -22,6 +22,7 @@ use crate::metrics::{Metrics, PhaseRecord};
 use crate::model::{CliqueConfig, CommMode, SimError};
 use crate::node::NodeId;
 use crate::par;
+use crate::transport::Transport;
 
 /// Logical outgoing data of one node during one phase.
 #[derive(Clone, Debug, Default)]
@@ -51,6 +52,12 @@ impl PhaseOutbox {
     pub fn is_empty(&self) -> bool {
         self.broadcast.is_none() && self.unicasts.is_empty()
     }
+
+    /// Decomposes the outbox for a [`Transport`](crate::transport::Transport)
+    /// to deliver.
+    pub(crate) fn into_parts(self) -> (Option<BitString>, Vec<(NodeId, BitString)>) {
+        (self.broadcast, self.unicasts)
+    }
 }
 
 /// Messages delivered to one node at the end of a phase.
@@ -69,6 +76,22 @@ impl PhaseInbox {
         Self {
             broadcasts: vec![None; n],
             unicasts: vec![None; n],
+        }
+    }
+
+    /// Stores one receiver's share of `sender`'s broadcast (transports hand
+    /// each receiver either a clone of one shared [`Arc`] or its own copy).
+    pub(crate) fn deliver_broadcast(&mut self, sender: NodeId, payload: Arc<BitString>) {
+        self.broadcasts[sender.index()] = Some(payload);
+    }
+
+    /// Appends a unicast payload from `sender`; multiple deliveries within
+    /// a phase are concatenated in arrival order.
+    pub(crate) fn deliver_unicast(&mut self, sender: NodeId, payload: BitString) {
+        let slot = &mut self.unicasts[sender.index()];
+        match slot {
+            Some(existing) => existing.extend_from(&payload),
+            None => *slot = Some(payload),
         }
     }
 
@@ -155,6 +178,9 @@ pub struct PhaseEngine {
     /// Per-engine worker-count override; `None` uses the default
     /// resolution (see [`par::workers`]).
     threads: Option<usize>,
+    /// The message-delivery backend. Accounting (pass 1) never touches it,
+    /// so the ledger is identical under every backend.
+    transport: Box<dyn Transport>,
 }
 
 /// Validation and load accounting of one sender's phase outbox, computed
@@ -244,14 +270,29 @@ fn summarize_outbox(
 }
 
 impl PhaseEngine {
-    /// Creates a phase engine for the given model.
+    /// Creates a phase engine for the given model, using the process
+    /// default transport (see
+    /// [`transport::default_kind`](crate::transport::default_kind)).
     pub fn new(config: CliqueConfig) -> Self {
         Self {
             config,
             metrics: Metrics::new(),
             dest_load: Vec::new(),
             threads: None,
+            transport: crate::transport::default_transport(),
         }
+    }
+
+    /// Replaces the message-delivery backend. Transports never change
+    /// transcripts (see [`transport`](crate::transport)); the knob only
+    /// swaps delivery mechanics.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.transport = transport;
+    }
+
+    /// The message-delivery backend in use.
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
     }
 
     /// Overrides the worker count used to validate and account phases in
@@ -353,25 +394,15 @@ impl PhaseEngine {
             messages += summary.messages;
         }
 
-        // Pass 2 — delivery, strictly in ascending sender order (payloads
-        // are moved, broadcasts Arc-shared: one allocation per broadcast, a
-        // pointer clone per receiver).
+        // Pass 2 — delivery through the transport, strictly in ascending
+        // sender order. The ledger was fully computed in pass 1, so the
+        // backend cannot affect the accounting; the default in-memory
+        // backend moves payloads and Arc-shares broadcasts (one allocation
+        // per broadcast, a pointer clone per receiver).
         let mut inboxes: Vec<PhaseInbox> = (0..n).map(|_| PhaseInbox::empty(n)).collect();
         for (i, out) in outs.into_iter().enumerate() {
-            let sender = NodeId::new(i);
-            if let Some(msg) = out.broadcast {
-                let shared = Arc::new(msg);
-                for dst in self.config.topology.neighbors(sender, n) {
-                    inboxes[dst.index()].broadcasts[sender.index()] = Some(Arc::clone(&shared));
-                }
-            }
-            for (dst, msg) in out.unicasts {
-                let slot = &mut inboxes[dst.index()].unicasts[sender.index()];
-                match slot {
-                    Some(existing) => existing.extend_from(&msg),
-                    None => *slot = Some(msg),
-                }
-            }
+            self.transport
+                .deliver_phase(&self.config, NodeId::new(i), out, &mut inboxes);
         }
 
         let rounds = max_load.div_ceil(b);

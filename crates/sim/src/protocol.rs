@@ -17,6 +17,7 @@ use crate::model::{CliqueConfig, SimError};
 use crate::outcome::RunOutcome;
 use crate::par;
 use crate::session::Session;
+use crate::transport::Transport;
 
 /// A distributed algorithm that can run on any model instance.
 ///
@@ -94,6 +95,10 @@ pub struct Runner {
     /// Worker-count override handed to every session this runner opens;
     /// `None` uses the default resolution (see [`par::workers`]).
     threads: Option<usize>,
+    /// Transport prototype cloned into every session this runner opens;
+    /// `None` uses the process default (see
+    /// [`transport::default_kind`](crate::transport::default_kind)).
+    transport: Option<Box<dyn Transport>>,
 }
 
 /// One point of a [`Runner::sweep`]: the configuration and the outcome of
@@ -112,6 +117,7 @@ impl Runner {
         Self {
             config,
             threads: None,
+            transport: None,
         }
     }
 
@@ -122,6 +128,17 @@ impl Runner {
     #[must_use]
     pub fn with_threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns this runner with a transport prototype that every session it
+    /// opens receives a clone of (`None` restores the process default, see
+    /// [`transport::default_kind`](crate::transport::default_kind)).
+    /// Transports never change protocol outputs or ledgers — see
+    /// [`transport`](crate::transport).
+    #[must_use]
+    pub fn with_transport(mut self, transport: Option<Box<dyn Transport>>) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -145,6 +162,9 @@ impl Runner {
     ) -> Result<RunOutcome<P::Output>, SimError> {
         let mut session = Session::new(self.config.clone());
         session.set_threads(self.threads);
+        if let Some(transport) = &self.transport {
+            session.set_transport(transport.clone_box());
+        }
         let output = protocol.run(&mut session)?;
         Ok(RunOutcome::new(output, session.into_metrics()))
     }

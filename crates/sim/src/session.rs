@@ -18,6 +18,7 @@ use crate::node::NodeAlgorithm;
 use crate::outcome::RunOutcome;
 use crate::phase::{PhaseEngine, PhaseInbox, PhaseOutbox};
 use crate::protocol::Protocol;
+use crate::transport::Transport;
 
 /// One protocol execution on one model instance.
 ///
@@ -79,6 +80,19 @@ impl Session {
     /// The worker count this session's engines use.
     pub fn threads(&self) -> usize {
         self.engine.threads()
+    }
+
+    /// Replaces the message-delivery backend for this session's engines.
+    /// Nested sessions and strict-engine runs inherit a clone of the
+    /// backend. Transports never change transcripts, ledgers or outputs
+    /// (see [`transport`](crate::transport)) — only delivery mechanics.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.engine.set_transport(transport);
+    }
+
+    /// The message-delivery backend in use.
+    pub fn transport(&self) -> &dyn Transport {
+        self.engine.transport()
     }
 
     /// The model configuration.
@@ -234,6 +248,7 @@ impl Session {
     ) -> Result<RunOutcome<P::Output>, SimError> {
         let mut sub = Session::new(config);
         sub.set_threads(self.threads);
+        sub.set_transport(self.engine.transport().clone_box());
         let result = protocol.run(&mut sub);
         let metrics = sub.into_metrics();
         self.absorb_metrics(&metrics);
@@ -260,6 +275,7 @@ impl Session {
     ) -> Result<NodeRun<A>, SimError> {
         let mut engine = RoundEngine::new(self.config().clone(), nodes);
         engine.set_threads(self.threads);
+        engine.set_transport(self.engine.transport().clone_box());
         let result = engine.run(max_rounds);
         self.absorb_metrics(engine.metrics());
         let report = result?;

@@ -1,0 +1,470 @@
+//! Pluggable message-delivery backends for both engines.
+//!
+//! A [`Transport`] moves validated payloads from a sender's outbox into the
+//! receivers' inboxes — nothing else. All round/bit accounting is computed
+//! by the engines *before* delivery, from the outbox contents alone, so a
+//! transport physically cannot change the ledger; and because both engines
+//! call [`Transport::deliver_round`] / [`Transport::deliver_phase`] once
+//! per sender in ascending [`NodeId`] order, delivery order (and therefore
+//! the transcript every node observes) is fixed by the engine, not the
+//! backend. This is the serving-layer invariant: **the transport never
+//! changes transcripts** — swapping backends trades mechanics (zero-copy
+//! sharing vs. ownership transfer), never results.
+//!
+//! Two backends ship with the simulator:
+//!
+//! * [`InMemoryTransport`] — the default: unicasts are moved into the
+//!   receiving inbox, broadcasts are [`Arc`]-shared (one allocation per
+//!   broadcast, a pointer clone per receiver). This is byte-for-byte the
+//!   delivery path the engines used before the trait existed.
+//! * [`ChannelTransport`] — every payload crosses an [`mpsc`] channel and
+//!   broadcasts are deep-copied per receiver, modelling socket-style
+//!   ownership transfer (the sender's buffer is gone once sent, each
+//!   receiver owns its bytes). Useful as a cross-check that no protocol
+//!   accidentally depends on broadcast aliasing.
+//!
+//! The process default is [`TransportKind::InMemory`]; it can be overridden
+//! with [`set_default_kind`] or the `CLIQUE_TRANSPORT` environment variable
+//! (`memory` or `channel`), mirroring the `CLIQUE_THREADS` worker knob — CI
+//! runs the regression pins under both values to enforce the invariant.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+
+use crate::bits::BitString;
+use crate::model::CliqueConfig;
+use crate::node::{Inbox, NodeId, Outbox};
+use crate::phase::{PhaseInbox, PhaseOutbox};
+
+/// A message-delivery backend.
+///
+/// Implementations deliver one sender's validated outbox into the inbox
+/// array; the engines call this once per sender in ascending [`NodeId`]
+/// order and have already charged the ledger, so a conforming transport
+/// must deliver exactly the submitted payloads to exactly the addressed
+/// receivers (broadcasts to every neighbour of `sender`) and may differ
+/// only in *how* the bytes travel.
+pub trait Transport: fmt::Debug + Send {
+    /// A short stable identifier (e.g. for reports): `"memory"`, `"channel"`.
+    fn name(&self) -> &'static str;
+
+    /// Delivers one strict-round outbox: each unicast into its
+    /// destination's slot for `sender`, the broadcast (if any) to every
+    /// neighbour of `sender`. The outbox is drained.
+    fn deliver_round(
+        &mut self,
+        config: &CliqueConfig,
+        sender: NodeId,
+        outbox: &mut Outbox,
+        inboxes: &mut [Inbox],
+    );
+
+    /// Delivers one phase outbox: the broadcast (if any) to every neighbour,
+    /// unicasts appended to the destination's per-sender aggregate in
+    /// submission order.
+    fn deliver_phase(
+        &mut self,
+        config: &CliqueConfig,
+        sender: NodeId,
+        outbox: PhaseOutbox,
+        inboxes: &mut [PhaseInbox],
+    );
+
+    /// Clones the backend for a nested engine (fresh delivery state, same
+    /// mechanics); this is what makes `Box<dyn Transport>` fields of the
+    /// `Clone` engine types work.
+    fn clone_box(&self) -> Box<dyn Transport>;
+}
+
+impl Clone for Box<dyn Transport> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The default zero-copy backend: unicasts move, broadcasts are
+/// [`Arc`]-shared across receivers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InMemoryTransport;
+
+impl Transport for InMemoryTransport {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn deliver_round(
+        &mut self,
+        config: &CliqueConfig,
+        sender: NodeId,
+        outbox: &mut Outbox,
+        inboxes: &mut [Inbox],
+    ) {
+        for (dst, msg) in outbox.unicasts.drain(..) {
+            inboxes[dst.index()].insert_owned(sender, msg);
+        }
+        if let Some(msg) = outbox.broadcast.take() {
+            // One shared allocation per broadcast, a pointer clone per
+            // receiver.
+            let shared = Arc::new(msg);
+            for dst in config.topology.neighbors(sender, config.n) {
+                inboxes[dst.index()].insert_shared(sender, Arc::clone(&shared));
+            }
+        }
+    }
+
+    fn deliver_phase(
+        &mut self,
+        config: &CliqueConfig,
+        sender: NodeId,
+        outbox: PhaseOutbox,
+        inboxes: &mut [PhaseInbox],
+    ) {
+        let (broadcast, unicasts) = outbox.into_parts();
+        if let Some(msg) = broadcast {
+            let shared = Arc::new(msg);
+            for dst in config.topology.neighbors(sender, config.n) {
+                inboxes[dst.index()].deliver_broadcast(sender, Arc::clone(&shared));
+            }
+        }
+        for (dst, msg) in unicasts {
+            inboxes[dst.index()].deliver_unicast(sender, msg);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Transport> {
+        Box::new(*self)
+    }
+}
+
+/// One payload in flight inside a [`ChannelTransport`].
+#[derive(Debug)]
+enum Wire {
+    Unicast { dst: NodeId, payload: BitString },
+    Broadcast { dst: NodeId, payload: BitString },
+}
+
+/// A backend that moves every payload through an [`mpsc`] channel,
+/// modelling socket-style ownership transfer: the sender's buffer is
+/// consumed by the send, broadcasts are deep-copied once per receiver, and
+/// each receiver ends up owning its bytes (no [`Arc`] aliasing across
+/// inboxes). Delivery is FIFO per sender, so the resulting inboxes are
+/// byte-identical to [`InMemoryTransport`]'s.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    tx: mpsc::Sender<Wire>,
+    rx: mpsc::Receiver<Wire>,
+}
+
+impl ChannelTransport {
+    /// Creates a backend with a fresh channel.
+    pub fn new() -> Self {
+        let (tx, rx) = mpsc::channel();
+        Self { tx, rx }
+    }
+
+    fn send(&self, wire: Wire) {
+        // The receiving half lives in `self`, so the channel cannot be
+        // disconnected.
+        self.tx.send(wire).expect("transport channel disconnected");
+    }
+}
+
+impl Default for ChannelTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+
+    fn deliver_round(
+        &mut self,
+        config: &CliqueConfig,
+        sender: NodeId,
+        outbox: &mut Outbox,
+        inboxes: &mut [Inbox],
+    ) {
+        for (dst, msg) in outbox.unicasts.drain(..) {
+            self.send(Wire::Unicast { dst, payload: msg });
+        }
+        if let Some(msg) = outbox.broadcast.take() {
+            for dst in config.topology.neighbors(sender, config.n) {
+                self.send(Wire::Broadcast {
+                    dst,
+                    payload: msg.clone(),
+                });
+            }
+        }
+        while let Ok(wire) = self.rx.try_recv() {
+            match wire {
+                // Both kinds arrive as owned bytes: ownership was
+                // transferred through the channel.
+                Wire::Unicast { dst, payload } | Wire::Broadcast { dst, payload } => {
+                    inboxes[dst.index()].insert_owned(sender, payload);
+                }
+            }
+        }
+    }
+
+    fn deliver_phase(
+        &mut self,
+        config: &CliqueConfig,
+        sender: NodeId,
+        outbox: PhaseOutbox,
+        inboxes: &mut [PhaseInbox],
+    ) {
+        let (broadcast, unicasts) = outbox.into_parts();
+        if let Some(msg) = broadcast {
+            for dst in config.topology.neighbors(sender, config.n) {
+                self.send(Wire::Broadcast {
+                    dst,
+                    payload: msg.clone(),
+                });
+            }
+        }
+        for (dst, msg) in unicasts {
+            self.send(Wire::Unicast { dst, payload: msg });
+        }
+        while let Ok(wire) = self.rx.try_recv() {
+            match wire {
+                Wire::Broadcast { dst, payload } => {
+                    inboxes[dst.index()].deliver_broadcast(sender, Arc::new(payload));
+                }
+                Wire::Unicast { dst, payload } => {
+                    inboxes[dst.index()].deliver_unicast(sender, payload);
+                }
+            }
+        }
+    }
+
+    /// A fresh channel: delivery state is transient (drained within each
+    /// call), so a clone shares nothing with the original.
+    fn clone_box(&self) -> Box<dyn Transport> {
+        Box::new(Self::new())
+    }
+}
+
+/// The shipped backends, for knobs and reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// [`InMemoryTransport`] — the zero-copy default.
+    InMemory,
+    /// [`ChannelTransport`] — mpsc-based ownership transfer.
+    Channel,
+}
+
+impl TransportKind {
+    /// Instantiates the backend.
+    pub fn create(self) -> Box<dyn Transport> {
+        match self {
+            TransportKind::InMemory => Box::new(InMemoryTransport),
+            TransportKind::Channel => Box::new(ChannelTransport::new()),
+        }
+    }
+
+    /// Parses a knob value (`"memory"` / `"channel"`, as accepted by
+    /// `CLIQUE_TRANSPORT`).
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "memory" | "in-memory" | "inmemory" => Some(TransportKind::InMemory),
+            "channel" | "mpsc" => Some(TransportKind::Channel),
+            _ => None,
+        }
+    }
+
+    /// The stable identifier ([`Transport::name`]) of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::InMemory => "memory",
+            TransportKind::Channel => "channel",
+        }
+    }
+}
+
+/// Process-wide default-transport override; 0 = not set.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets (or with `None` clears) the process-wide default transport that
+/// newly created engines use; per-engine `set_transport` overrides it.
+pub fn set_default_kind(kind: Option<TransportKind>) {
+    let value = match kind {
+        None => 0,
+        Some(TransportKind::InMemory) => 1,
+        Some(TransportKind::Channel) => 2,
+    };
+    OVERRIDE.store(value, Ordering::Relaxed);
+}
+
+/// The backend newly created engines default to: the [`set_default_kind`]
+/// override if set, else `CLIQUE_TRANSPORT` if it parses (cached after the
+/// first read), else [`TransportKind::InMemory`].
+pub fn default_kind() -> TransportKind {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => return TransportKind::InMemory,
+        2 => return TransportKind::Channel,
+        _ => {}
+    }
+    static DEFAULT: OnceLock<TransportKind> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("CLIQUE_TRANSPORT")
+            .ok()
+            .and_then(|value| TransportKind::parse(&value))
+            // An unparsable CLIQUE_TRANSPORT falls through to the in-memory
+            // default rather than aborting library users, matching
+            // CLIQUE_THREADS.
+            .unwrap_or(TransportKind::InMemory)
+    })
+}
+
+/// Instantiates the current default backend (see [`default_kind`]).
+pub fn default_transport() -> Box<dyn Transport> {
+    default_kind().create()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RoundEngine;
+    use crate::model::AdjacencyTopology;
+    use crate::node::{NodeAlgorithm, NodeCtx};
+    use crate::phase::PhaseEngine;
+
+    #[test]
+    fn kind_parsing_and_names() {
+        assert_eq!(
+            TransportKind::parse("memory"),
+            Some(TransportKind::InMemory)
+        );
+        assert_eq!(
+            TransportKind::parse(" Channel "),
+            Some(TransportKind::Channel)
+        );
+        assert_eq!(TransportKind::parse("mpsc"), Some(TransportKind::Channel));
+        assert_eq!(TransportKind::parse("tcp"), None);
+        assert_eq!(TransportKind::InMemory.name(), "memory");
+        assert_eq!(TransportKind::Channel.create().name(), "channel");
+    }
+
+    #[test]
+    fn default_kind_override_round_trips() {
+        set_default_kind(Some(TransportKind::Channel));
+        assert_eq!(default_kind(), TransportKind::Channel);
+        set_default_kind(Some(TransportKind::InMemory));
+        assert_eq!(default_kind(), TransportKind::InMemory);
+        set_default_kind(None);
+        // Without an override the cached env/default value applies; either
+        // way it must be stable across calls.
+        assert_eq!(default_kind(), default_kind());
+    }
+
+    /// Mixed round traffic: everyone broadcasts, node 0 also unicasts (in
+    /// unicast mode a broadcast and a unicast to the same destination
+    /// overwrite deterministically).
+    struct Mixed {
+        done: bool,
+        digest: u64,
+    }
+
+    impl NodeAlgorithm for Mixed {
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &crate::node::Inbox, outbox: &mut Outbox) {
+            if ctx.round == 0 {
+                outbox.broadcast(BitString::from_bits(ctx.id.index() as u64, 3));
+                if ctx.id.index() == 0 && ctx.n() > 1 {
+                    outbox.send(NodeId::new(1), BitString::from_bits(0b101, 3));
+                }
+            } else {
+                for (sender, msg) in inbox.iter() {
+                    self.digest = self
+                        .digest
+                        .wrapping_mul(31)
+                        .wrapping_add(sender.index() as u64)
+                        .wrapping_add(msg.reader().read_bits(msg.len().min(8)).unwrap_or(0));
+                }
+                self.done = true;
+            }
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn round_run(transport: Box<dyn Transport>) -> (crate::metrics::Metrics, Vec<u64>) {
+        let cfg = CliqueConfig::unicast(6, 8);
+        let nodes = (0..6)
+            .map(|_| Mixed {
+                done: false,
+                digest: 0,
+            })
+            .collect();
+        let mut engine = RoundEngine::new(cfg, nodes);
+        engine.set_transport(transport);
+        engine.run(4).unwrap();
+        let digests = engine.nodes().iter().map(|n| n.digest).collect();
+        (engine.metrics().clone(), digests)
+    }
+
+    #[test]
+    fn round_transcripts_identical_across_backends() {
+        let memory = round_run(Box::new(InMemoryTransport));
+        let channel = round_run(Box::new(ChannelTransport::new()));
+        assert_eq!(memory, channel);
+    }
+
+    fn phase_run(transport: Box<dyn Transport>) -> (crate::metrics::Metrics, Vec<Vec<u8>>) {
+        let n = 5;
+        let mut engine = PhaseEngine::new(CliqueConfig::unicast(n, 2));
+        engine.set_transport(transport);
+        let outs: Vec<PhaseOutbox> = (0..n)
+            .map(|i| {
+                let mut out = PhaseOutbox::new();
+                out.broadcast(BitString::from_bits(i as u64, 4));
+                out.send(NodeId::new((i + 1) % n), BitString::from_bits(1, 3));
+                out.send(NodeId::new((i + 1) % n), BitString::from_bits(2, 2));
+                out
+            })
+            .collect();
+        let inboxes = engine.exchange("mixed", outs).unwrap();
+        let digests = inboxes
+            .iter()
+            .map(|inbox| {
+                let mut bytes = Vec::new();
+                for (sender, msg) in inbox.broadcasts() {
+                    bytes.push(sender.index() as u8);
+                    bytes.push(msg.len() as u8);
+                }
+                for (sender, msg) in inbox.unicasts() {
+                    bytes.push(0x80 | sender.index() as u8);
+                    bytes.push(msg.len() as u8);
+                }
+                bytes
+            })
+            .collect();
+        (engine.metrics().clone(), digests)
+    }
+
+    #[test]
+    fn phase_transcripts_identical_across_backends() {
+        let memory = phase_run(Box::new(InMemoryTransport));
+        let channel = phase_run(Box::new(ChannelTransport::new()));
+        assert_eq!(memory, channel);
+    }
+
+    #[test]
+    fn channel_broadcasts_respect_topology() {
+        let adj = AdjacencyTopology::from_edges(3, &[(0, 1)]);
+        let mut engine = PhaseEngine::new(CliqueConfig::congest(3, 8, adj));
+        engine.set_transport(Box::new(ChannelTransport::new()));
+        let mut out = PhaseOutbox::new();
+        out.broadcast(BitString::from_bits(5, 3));
+        let outs = vec![out, PhaseOutbox::new(), PhaseOutbox::new()];
+        let inboxes = engine.exchange("local bcast", outs).unwrap();
+        assert!(inboxes[1].broadcast_from(NodeId::new(0)).is_some());
+        assert!(inboxes[2].broadcast_from(NodeId::new(0)).is_none());
+    }
+}

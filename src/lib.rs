@@ -2,8 +2,9 @@
 //!
 //! This is the top-level facade crate of the workspace: it re-exports
 //! [`clique_core`] (the paper's algorithms) together with all substrate
-//! crates, so that the examples and integration tests in this repository —
-//! and downstream users — only need a single dependency.
+//! crates and the [`serve`] job-server layer, so that the examples and
+//! integration tests in this repository — and downstream users — only need
+//! a single dependency.
 //!
 //! See `README.md` at the repository root for an overview,
 //! `DESIGN.md` for the system inventory and the per-experiment index, and
@@ -28,3 +29,7 @@
 #![warn(missing_docs)]
 
 pub use clique_core::*;
+
+/// Re-export of the job-server layer (`clique-serve`): [`serve::Server`]
+/// shards cached, batched simulation jobs over the protocol [`registry`].
+pub use clique_serve as serve;
