@@ -28,6 +28,7 @@ use clique_core::routing::{
 use clique_core::sim::linalg::IntMatrix;
 use clique_core::sim::par;
 use clique_core::sim::prelude::*;
+use clique_core::sim::transport::INJECTABLE_FAULTS;
 use clique_core::sketch::reconstruct::message_bits;
 use clique_core::subgraph::{detect_subgraph_turan, SketchReconstruction};
 use clique_core::triangle::{
@@ -1081,6 +1082,71 @@ pub fn e16_serve(scale: Scale) -> ExperimentTable {
     table
 }
 
+/// E17 — chaos engineering: under seeded fault injection every served
+/// record is byte-identical to the fault-free reference or a clean typed
+/// error, and the retry layer's detection/recovery rates are tabulated
+/// against the injection rate.
+pub fn e17_chaos(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E17",
+        "chaos: seeded fault injection vs detection and retry recovery",
+        "for every fault kind and injection rate, each job pooled over four protocols either serves a record byte-identical to the fault-free reference or fails with a clean typed error (silent wrong = 0 everywhere); detected transport faults are retried deterministically, and the recovery rate falls as the rate climbs",
+        &[
+            "kinds",
+            "rate (ppm)",
+            "jobs",
+            "served",
+            "typed errors",
+            "silent wrong",
+            "detected",
+            "retries",
+            "recovered",
+            "quarantined",
+            "detection rate",
+            "recovery rate",
+        ],
+    );
+    let sizes: &[usize] = scale.pick(&[6, 7][..], &[6, 9, 12][..]);
+    let seeds: &[u64] = scale.pick(&[1][..], &[1, 2][..]);
+    let rates: &[u32] = scale.pick(
+        &[0, 20_000, 120_000][..],
+        &[0, 5_000, 20_000, 120_000, 400_000][..],
+    );
+    let specs = crate::chaos::chaos_job_pool(sizes, seeds);
+    let kind_sets: Vec<(String, Vec<FaultKind>)> = INJECTABLE_FAULTS
+        .iter()
+        .map(|&kind| (kind.name().to_owned(), vec![kind]))
+        .chain(std::iter::once((
+            "mixed".to_owned(),
+            INJECTABLE_FAULTS.to_vec(),
+        )))
+        .collect();
+    for (label, kinds) in &kind_sets {
+        for &rate in rates {
+            let report = crate::chaos::run_chaos_cell(&specs, kinds, label, 0xC4A05, rate, 4);
+            let fmt_rate = |rate: Option<f64>| match rate {
+                Some(value) => fmt_f64(value),
+                None => "-".to_owned(),
+            };
+            table.push_row(vec![
+                report.kinds.clone(),
+                report.rate_ppm.to_string(),
+                report.jobs.to_string(),
+                report.served.to_string(),
+                report.typed_failures.to_string(),
+                report.silently_wrong.to_string(),
+                report.faults_detected.to_string(),
+                report.retries.to_string(),
+                report.recovered.to_string(),
+                report.quarantined.to_string(),
+                fmt_rate(report.detection_rate()),
+                fmt_rate(report.recovery_rate()),
+            ]);
+        }
+    }
+    table
+}
+
 /// One registered experiment: its id, a one-line description for
 /// `--list`-style output, and the function regenerating its table.
 pub struct ExperimentEntry {
@@ -1178,6 +1244,11 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
         description: "serving layer: sharded caching job server vs direct runs, byte-identical",
         run: e16_serve,
     },
+    ExperimentEntry {
+        id: "E17",
+        description: "chaos: seeded fault injection, never silently wrong, retry recovery rates",
+        run: e17_chaos,
+    },
 ];
 
 /// Looks up an experiment by id.
@@ -1266,13 +1337,46 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete_and_unique() {
-        assert_eq!(EXPERIMENTS.len(), 16);
+        assert_eq!(EXPERIMENTS.len(), 17);
         for (i, entry) in EXPERIMENTS.iter().enumerate() {
             assert_eq!(entry.id, format!("E{}", i + 1));
             assert!(!entry.description.is_empty());
             assert_eq!(find_experiment(entry.id).unwrap().id, entry.id);
         }
-        assert!(find_experiment("E17").is_none());
+        assert!(find_experiment("E18").is_none());
+    }
+
+    #[test]
+    fn chaos_experiment_is_never_silently_wrong() {
+        let table = e17_chaos(Scale::Quick);
+        let silent_col = table
+            .headers
+            .iter()
+            .position(|h| h == "silent wrong")
+            .unwrap();
+        let rate_col = table
+            .headers
+            .iter()
+            .position(|h| h == "rate (ppm)")
+            .unwrap();
+        let jobs_col = table.headers.iter().position(|h| h == "jobs").unwrap();
+        let served_col = table.headers.iter().position(|h| h == "served").unwrap();
+        let detected_col = table.headers.iter().position(|h| h == "detected").unwrap();
+        assert!(table.rows.len() >= 9, "fewer than 3 kinds x 3 rates");
+        let mut detected_any = false;
+        for row in &table.rows {
+            assert_eq!(row[silent_col], "0", "an E17 cell was silently wrong");
+            if row[rate_col] == "0" {
+                assert_eq!(
+                    row[served_col], row[jobs_col],
+                    "a zero-rate cell failed a job"
+                );
+                assert_eq!(row[detected_col], "0", "a zero-rate cell detected faults");
+            } else if row[detected_col] != "0" {
+                detected_any = true;
+            }
+        }
+        assert!(detected_any, "no nonzero-rate cell injected anything");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The paper has no numeric tables or figures (its results are theorems), so
 //! the "tables" this harness regenerates are the per-theorem experiments
-//! listed in DESIGN.md (E1–E16): every experiment runs the corresponding
+//! listed in DESIGN.md (E1–E17): every experiment runs the corresponding
 //! construction over a parameter sweep and reports the measured rounds, bits
 //! or sizes next to the bound the theorem predicts.
 //!
@@ -16,10 +16,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod diff;
 pub mod experiments;
 pub mod table;
 
+pub use chaos::{chaos_job_pool, run_chaos_cell, ChaosReport, CHAOS_PROTOCOLS};
 pub use diff::{assert_protocol_matches_oracle, unweighted_grid, weighted_grid, LabeledCase};
 pub use experiments::{run_all, ExperimentEntry, Scale, EXPERIMENTS};
 pub use table::ExperimentTable;

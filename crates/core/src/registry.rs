@@ -20,7 +20,8 @@
 use clique_graphs::weighted::{self, WeightedGraph};
 use clique_graphs::{generators, Graph, Pattern};
 use clique_sim::linalg::IntMatrix;
-use clique_sim::{CliqueConfig, Metrics, Runner, SimError};
+use clique_sim::transport::{FaultPlan, FaultyTransport};
+use clique_sim::{BitString, CliqueConfig, Metrics, Runner, Session, SimError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -92,6 +93,24 @@ pub struct RunOptions {
     /// Worker-count override for the run's engines (`None` = default
     /// resolution). Never changes outputs or ledgers.
     pub threads: Option<usize>,
+    /// Deterministic fault-injection schedule, wrapped around the default
+    /// transport (`None` = clean delivery). An injected fault aborts the
+    /// run with [`SimError::TransportFault`]; a run that completes under a
+    /// plan is byte-identical to the fault-free run — unfaulted messages
+    /// pass through untouched.
+    pub fault: Option<FaultPlan>,
+}
+
+/// The shared `Runner` construction of every registry entry: thread
+/// override plus, when a fault plan is set, a [`FaultyTransport`] wrapped
+/// around the process-default backend (so chaos composes with the
+/// `CLIQUE_TRANSPORT` knob).
+fn runner(config: CliqueConfig, options: &RunOptions) -> Runner {
+    let mut runner = Runner::new(config).with_threads(options.threads);
+    if let Some(plan) = options.fault {
+        runner = runner.with_transport(Some(Box::new(FaultyTransport::with_default_inner(plan))));
+    }
+    runner
 }
 
 /// What a registry run produces: the canonical output digest plus the full
@@ -162,6 +181,12 @@ pub const PROTOCOLS: &[ProtocolEntry] = &[
         description: "C4 detection by broadcasting all rows, Section 3.1 (CLIQUE-BCAST)",
         kind: InputKind::Unweighted,
         run: run_c4_full_broadcast,
+    },
+    ProtocolEntry {
+        id: "chaos-probe",
+        description: "fault-tolerance probe: one-phase broadcast, deliberately panics on odd n (chaos testing)",
+        kind: InputKind::Unweighted,
+        run: run_chaos_probe,
     },
 ];
 
@@ -242,11 +267,10 @@ pub fn generate_input(
 
 fn run_mst(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimError> {
     let graph = input.weighted("mst");
-    let outcome = Runner::new(CliqueConfig::broadcast(
-        graph.vertex_count(),
-        options.bandwidth,
-    ))
-    .with_threads(options.threads)
+    let outcome = runner(
+        CliqueConfig::broadcast(graph.vertex_count(), options.bandwidth),
+        options,
+    )
     .execute(&mut MstProtocol::new(graph, MST_BASE_CAPACITY))?;
     Ok(ProtocolRun {
         output: msf_digest(&outcome.output),
@@ -256,11 +280,10 @@ fn run_mst(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimErr
 
 fn run_triangle_count(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimError> {
     let graph = input.unweighted("triangle-count");
-    let outcome = Runner::new(CliqueConfig::unicast(
-        graph.vertex_count(),
-        options.bandwidth,
-    ))
-    .with_threads(options.threads)
+    let outcome = runner(
+        CliqueConfig::unicast(graph.vertex_count(), options.bandwidth),
+        options,
+    )
     .execute(&mut TriangleCount::new(graph))?;
     Ok(ProtocolRun {
         output: format!("{{\"triangles\":{}}}", outcome.output),
@@ -270,11 +293,10 @@ fn run_triangle_count(input: &JobInput, options: &RunOptions) -> Result<Protocol
 
 fn run_apsp(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimError> {
     let graph = input.unweighted("apsp");
-    let outcome = Runner::new(CliqueConfig::unicast(
-        graph.vertex_count(),
-        options.bandwidth,
-    ))
-    .with_threads(options.threads)
+    let outcome = runner(
+        CliqueConfig::unicast(graph.vertex_count(), options.bandwidth),
+        options,
+    )
     .execute(&mut ApspProtocol::new(graph))?;
     Ok(ProtocolRun {
         output: apsp_digest(&outcome.output),
@@ -284,11 +306,10 @@ fn run_apsp(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimEr
 
 fn run_c4_turan(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimError> {
     let graph = input.unweighted("c4-turan-sketch");
-    let outcome = Runner::new(CliqueConfig::broadcast(
-        graph.vertex_count(),
-        options.bandwidth,
-    ))
-    .with_threads(options.threads)
+    let outcome = runner(
+        CliqueConfig::broadcast(graph.vertex_count(), options.bandwidth),
+        options,
+    )
     .execute(&mut TuranSketchDetection::new(graph, &Pattern::Cycle(4)))?;
     Ok(ProtocolRun {
         output: detection_digest(&outcome.output),
@@ -298,14 +319,40 @@ fn run_c4_turan(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, S
 
 fn run_c4_full_broadcast(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimError> {
     let graph = input.unweighted("c4-full-broadcast");
-    let outcome = Runner::new(CliqueConfig::broadcast(
-        graph.vertex_count(),
-        options.bandwidth,
-    ))
-    .with_threads(options.threads)
+    let outcome = runner(
+        CliqueConfig::broadcast(graph.vertex_count(), options.bandwidth),
+        options,
+    )
     .execute(&mut FullBroadcastDetection::new(graph, &Pattern::Cycle(4)))?;
     Ok(ProtocolRun {
         output: detection_digest(&outcome.output),
+        metrics: outcome.metrics,
+    })
+}
+
+/// The deliberately misbehaving entry backing the serving layer's
+/// panic-isolation and quarantine tests: a trivial one-phase broadcast that
+/// panics (by design) whenever the input has an odd number of vertices.
+/// The panic is deterministic in the job spec, so retrying it can never
+/// succeed — the recovery layer must isolate it and quarantine the job.
+fn run_chaos_probe(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimError> {
+    let graph = input.unweighted("chaos-probe");
+    let n = graph.vertex_count();
+    assert!(
+        n.is_multiple_of(2),
+        "chaos-probe: deliberate panic for odd n ({n})"
+    );
+    let outcome = runner(CliqueConfig::broadcast(n, options.bandwidth), options).execute(
+        &mut |session: &mut Session| {
+            let rows: Vec<BitString> = (0..n)
+                .map(|i| BitString::from_bits((i % 2) as u64, 1))
+                .collect();
+            session.broadcast_all("probe broadcast", &rows)?;
+            Ok(n as u64)
+        },
+    )?;
+    Ok(ProtocolRun {
+        output: format!("{{\"probe\":{}}}", outcome.output),
         metrics: outcome.metrics,
     })
 }
@@ -402,7 +449,7 @@ mod tests {
             generate_input(InputKind::Weighted, "weighted_random_tree", 12, 0x5EED, 7).unwrap();
         let options = RunOptions {
             bandwidth: 8,
-            threads: None,
+            ..RunOptions::default()
         };
         let run = find("mst").unwrap().run(&input, &options).unwrap();
         let JobInput::Weighted(graph) = &input else {
@@ -421,6 +468,7 @@ mod tests {
                 &RunOptions {
                     bandwidth: 16,
                     threads: Some(2),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();
@@ -433,6 +481,78 @@ mod tests {
     }
 
     #[test]
+    fn chaos_probe_runs_on_even_inputs() {
+        let input = generate_input(InputKind::Unweighted, "path", 6, 0, 0).unwrap();
+        let run = find("chaos-probe")
+            .unwrap()
+            .run(
+                &input,
+                &RunOptions {
+                    bandwidth: 4,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(run.output, "{\"probe\":6}");
+        assert_eq!(run.metrics.rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos-probe: deliberate panic")]
+    fn chaos_probe_panics_on_odd_inputs() {
+        let input = generate_input(InputKind::Unweighted, "path", 5, 0, 0).unwrap();
+        let _ = find("chaos-probe").unwrap().run(
+            &input,
+            &RunOptions {
+                bandwidth: 4,
+                ..RunOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn fault_plans_abort_typed_and_zero_rate_matches_fault_free() {
+        use clique_sim::transport::{FaultKind, INJECTABLE_FAULTS};
+        let input = generate_input(InputKind::Unweighted, "erdos_renyi(p=0.5)", 8, 2, 0).unwrap();
+        let entry = find("triangle-count").unwrap();
+        let clean = entry
+            .run(
+                &input,
+                &RunOptions {
+                    bandwidth: 16,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        let zero_rate = entry
+            .run(
+                &input,
+                &RunOptions {
+                    bandwidth: 16,
+                    fault: Some(FaultPlan::new(9, 0, &INJECTABLE_FAULTS)),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(clean, zero_rate, "a zero-rate plan changed the transcript");
+        let saturated = entry.run(
+            &input,
+            &RunOptions {
+                bandwidth: 16,
+                fault: Some(FaultPlan::new(9, 1_000_000, &[FaultKind::Truncate])),
+                ..RunOptions::default()
+            },
+        );
+        assert!(matches!(
+            saturated,
+            Err(SimError::TransportFault {
+                kind: FaultKind::Truncate,
+                ..
+            })
+        ));
+    }
+
+    #[test]
     #[should_panic(expected = "expects a weighted input")]
     fn kind_mismatch_panics() {
         let input = generate_input(InputKind::Unweighted, "path", 4, 0, 0).unwrap();
@@ -440,7 +560,7 @@ mod tests {
             &input,
             &RunOptions {
                 bandwidth: 8,
-                threads: None,
+                ..RunOptions::default()
             },
         );
     }

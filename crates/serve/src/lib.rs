@@ -19,6 +19,14 @@
 //! [`clique_core::sim::par`], each worker draining up to
 //! [`ServerConfig::batch_size`] jobs of its shard per spawn.
 //!
+//! [`Server::submit_jobs`] is the fault-tolerant entry point: one
+//! [`JobOutcome`] per spec, panics isolated per job, transient failures
+//! (transport faults injected by a [`ServerConfig::chaos`] plan, panics)
+//! retried deterministically up to [`ServerConfig::max_retries`] times,
+//! retry-exhausted keys quarantined, runaway jobs cut off by
+//! [`ServerConfig::max_rounds`] / [`ServerConfig::max_bits`] — every
+//! failure is a typed [`ServeError`], never a silently wrong record.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,11 +47,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The serving layer must degrade through typed errors, never assert its way
+// down: no unwrap/expect outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod server;
 pub mod spec;
 
 pub use cache::{CacheStats, TranscriptCache};
-pub use server::{encode_record, fnv64, JobResult, ServeError, Server, ServerConfig, ServerStats};
+pub use server::{
+    encode_record, fnv64, FaultStats, JobOutcome, JobResult, ServeError, Server, ServerConfig,
+    ServerStats,
+};
 pub use spec::{JobSpec, SpecParseError};

@@ -247,7 +247,8 @@ impl<A: NodeAlgorithm> RoundEngine<A> {
                 messages += self.config.topology.degree(sender, n) as u64;
             }
             self.transport
-                .deliver_round(&self.config, sender, outbox, &mut self.next_inboxes);
+                .deliver_round(&self.config, sender, outbox, &mut self.next_inboxes)
+                .map_err(|fault| fault.at_round(self.round))?;
         }
 
         self.metrics.record_round(bits, messages, max_link);

@@ -43,7 +43,12 @@
 //! default, mpsc-channel ownership transfer as a cross-check), and because
 //! all accounting happens before delivery, *the transport never changes
 //! transcripts* (knob: [`transport::set_default_kind`], `CLIQUE_TRANSPORT`,
-//! or the per-engine `set_transport`).
+//! or the per-engine `set_transport`). Delivery can also *fail*, typed:
+//! [`transport::FaultyTransport`] injects a seeded [`transport::FaultPlan`]
+//! of drops, bit flips, duplications and truncations, detected through
+//! per-message integrity framing and surfaced as
+//! [`model::SimError::TransportFault`] — a faulted run aborts cleanly, it
+//! is never silently wrong.
 //!
 //! # Examples
 //!
@@ -97,7 +102,10 @@ pub mod prelude {
     pub use crate::phase::{PhaseEngine, PhaseInbox, PhaseOutbox};
     pub use crate::protocol::{Protocol, Runner, SweepPoint};
     pub use crate::session::{NodeRun, Session};
-    pub use crate::transport::{ChannelTransport, InMemoryTransport, Transport, TransportKind};
+    pub use crate::transport::{
+        ChannelTransport, FaultKind, FaultPlan, FaultyTransport, InMemoryTransport, Transport,
+        TransportFault, TransportKind,
+    };
 }
 
 pub use bits::BitString;
@@ -109,4 +117,7 @@ pub use outcome::RunOutcome;
 pub use phase::PhaseEngine;
 pub use protocol::{Protocol, Runner, SweepPoint};
 pub use session::{NodeRun, Session};
-pub use transport::{ChannelTransport, InMemoryTransport, Transport, TransportKind};
+pub use transport::{
+    ChannelTransport, FaultKind, FaultPlan, FaultyTransport, InMemoryTransport, Transport,
+    TransportFault, TransportKind,
+};

@@ -431,6 +431,20 @@ pub enum SimError {
     NotAnEdge { sender: NodeId, receiver: NodeId },
     /// The protocol did not terminate within the allowed number of rounds.
     RoundLimitExceeded { limit: u64 },
+    /// A transport backend lost or damaged a delivery — an injected fault
+    /// detected through the integrity framing (see
+    /// [`transport::FaultyTransport`](crate::transport::FaultyTransport))
+    /// or a real backend failure such as a disconnected channel. The run
+    /// aborts instead of computing from a damaged transcript. `round`
+    /// counts ledger rounds charged before the fault (under the phase
+    /// engine: before the faulted phase); `receiver` is `None` for a
+    /// broadcast.
+    TransportFault {
+        round: u64,
+        sender: NodeId,
+        receiver: Option<NodeId>,
+        kind: crate::transport::FaultKind,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -467,6 +481,21 @@ impl fmt::Display for SimError {
             SimError::RoundLimitExceeded { limit } => {
                 write!(f, "protocol did not terminate within {limit} rounds")
             }
+            SimError::TransportFault {
+                round,
+                sender,
+                receiver,
+                kind,
+            } => match receiver {
+                Some(receiver) => write!(
+                    f,
+                    "transport fault ({kind}) on message from {sender} to {receiver} after {round} rounds"
+                ),
+                None => write!(
+                    f,
+                    "transport fault ({kind}) on broadcast from {sender} after {round} rounds"
+                ),
+            },
         }
     }
 }

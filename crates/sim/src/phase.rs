@@ -348,6 +348,9 @@ impl PhaseEngine {
     ///   submitted in a broadcast model.
     /// * [`SimError::InvalidNode`], [`SimError::SelfMessage`],
     ///   [`SimError::NotAnEdge`] for malformed destinations.
+    /// * [`SimError::TransportFault`] if the transport loses or damages a
+    ///   delivery (the phase is validated and charged before delivery, but
+    ///   the engine state is not rolled back).
     ///
     /// # Panics
     ///
@@ -402,7 +405,8 @@ impl PhaseEngine {
         let mut inboxes: Vec<PhaseInbox> = (0..n).map(|_| PhaseInbox::empty(n)).collect();
         for (i, out) in outs.into_iter().enumerate() {
             self.transport
-                .deliver_phase(&self.config, NodeId::new(i), out, &mut inboxes);
+                .deliver_phase(&self.config, NodeId::new(i), out, &mut inboxes)
+                .map_err(|fault| fault.at_round(self.metrics.rounds))?;
         }
 
         let rounds = max_load.div_ceil(b);

@@ -27,14 +27,48 @@
 //! with [`set_default_kind`] or the `CLIQUE_TRANSPORT` environment variable
 //! (`memory` or `channel`), mirroring the `CLIQUE_THREADS` worker knob — CI
 //! runs the regression pins under both values to enforce the invariant.
+//!
+//! # Fault injection
+//!
+//! Delivery can fail: [`Transport::deliver_round`] / [`deliver_phase`]
+//! return a [`TransportFault`] that the engines wrap (with the current
+//! round) into [`SimError::TransportFault`] and abort the run — a faulty
+//! delivery is *never* silently absorbed into a transcript. Two sources of
+//! faults exist:
+//!
+//! * Real backend failures — e.g. a [`ChannelTransport`] whose receiving
+//!   endpoint disconnected reports [`FaultKind::Disconnect`] instead of
+//!   panicking mid-round.
+//! * Deterministic chaos testing — [`FaultyTransport`] wraps any inner
+//!   backend and injects a seeded [`FaultPlan`] schedule of per-`(round,
+//!   sender, receiver)` message drops, bit flips, duplications and
+//!   truncations. Each scheduled fault is applied to the message's
+//!   integrity framing ([`frame`]: a 32-bit length plus a 64-bit FNV-1a
+//!   checksum) and re-detected from the damage ([`unframe`]), so every
+//!   injected fault surfaces as a typed error naming the damage class.
+//!   Messages the plan leaves alone pass through to the inner backend
+//!   untouched: an empty plan is byte-for-byte the bare inner transport.
+//!
+//! Detection is deterministic, not probabilistic: dropping, duplicating or
+//! truncating framed bits breaks the length check, and each FNV-1a step
+//! `h' = (h ^ byte) * prime` is a bijection in `h` for a fixed byte (XOR is
+//! bijective; multiplying by an odd constant is bijective mod 2^64), so any
+//! single-bit payload change with unchanged length always changes the final
+//! checksum.
+//!
+//! [`deliver_phase`]: Transport::deliver_phase
+//! [`SimError::TransportFault`]: crate::model::SimError::TransportFault
 
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, OnceLock};
 
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
 use crate::bits::BitString;
-use crate::model::CliqueConfig;
+use crate::model::{CliqueConfig, SimError};
 use crate::node::{Inbox, NodeId, Outbox};
 use crate::phase::{PhaseInbox, PhaseOutbox};
 
@@ -53,24 +87,35 @@ pub trait Transport: fmt::Debug + Send {
     /// Delivers one strict-round outbox: each unicast into its
     /// destination's slot for `sender`, the broadcast (if any) to every
     /// neighbour of `sender`. The outbox is drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransportFault`] when delivery is lost or damaged (a
+    /// real backend failure, or an injected fault detected through the
+    /// integrity framing); the engine aborts the run with
+    /// [`SimError::TransportFault`](crate::model::SimError).
     fn deliver_round(
         &mut self,
         config: &CliqueConfig,
         sender: NodeId,
         outbox: &mut Outbox,
         inboxes: &mut [Inbox],
-    );
+    ) -> Result<(), TransportFault>;
 
     /// Delivers one phase outbox: the broadcast (if any) to every neighbour,
     /// unicasts appended to the destination's per-sender aggregate in
     /// submission order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::deliver_round`].
     fn deliver_phase(
         &mut self,
         config: &CliqueConfig,
         sender: NodeId,
         outbox: PhaseOutbox,
         inboxes: &mut [PhaseInbox],
-    );
+    ) -> Result<(), TransportFault>;
 
     /// Clones the backend for a nested engine (fresh delivery state, same
     /// mechanics); this is what makes `Box<dyn Transport>` fields of the
@@ -81,6 +126,445 @@ pub trait Transport: fmt::Debug + Send {
 impl Clone for Box<dyn Transport> {
     fn clone(&self) -> Self {
         self.clone_box()
+    }
+}
+
+/// The failure classes a transport can detect (and [`FaultyTransport`] can
+/// inject). The first four are injectable; [`FaultKind::Disconnect`] is
+/// reserved for real backend failures such as a dropped channel endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The message never arrived.
+    Drop,
+    /// At least one bit of the message flipped in flight.
+    Corrupt,
+    /// The message arrived more than once (payload longer than declared).
+    Duplicate,
+    /// A trailing portion of the message was lost.
+    Truncate,
+    /// The backend's receiving endpoint is gone (e.g. a disconnected
+    /// channel). Never scheduled by a [`FaultPlan`].
+    Disconnect,
+}
+
+/// The fault kinds a [`FaultPlan`] can schedule.
+pub const INJECTABLE_FAULTS: [FaultKind; 4] = [
+    FaultKind::Drop,
+    FaultKind::Corrupt,
+    FaultKind::Duplicate,
+    FaultKind::Truncate,
+];
+
+impl FaultKind {
+    /// A short stable identifier: `"drop"`, `"corrupt"`, `"duplicate"`,
+    /// `"truncate"`, `"disconnect"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Disconnect => "disconnect",
+        }
+    }
+
+    fn mask(self) -> u8 {
+        match self {
+            FaultKind::Drop => 1,
+            FaultKind::Corrupt => 2,
+            FaultKind::Duplicate => 4,
+            FaultKind::Truncate => 8,
+            FaultKind::Disconnect => 0,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A delivery failure detected by a [`Transport`]. The engines wrap it with
+/// the round it hit into
+/// [`SimError::TransportFault`](crate::model::SimError).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransportFault {
+    /// The sender whose delivery failed.
+    pub sender: NodeId,
+    /// The addressed receiver (`None` for a broadcast).
+    pub receiver: Option<NodeId>,
+    /// The damage class, as detected from the framing (not as scheduled).
+    pub kind: FaultKind,
+}
+
+impl TransportFault {
+    /// The engine-level error for a fault observed in `round`.
+    pub fn at_round(self, round: u64) -> SimError {
+        SimError::TransportFault {
+            round,
+            sender: self.sender,
+            receiver: self.receiver,
+            kind: self.kind,
+        }
+    }
+}
+
+impl fmt::Display for TransportFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.receiver {
+            Some(receiver) => write!(
+                f,
+                "transport fault ({}) on message from {} to {receiver}",
+                self.kind, self.sender
+            ),
+            None => write!(
+                f,
+                "transport fault ({}) on broadcast from {}",
+                self.kind, self.sender
+            ),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Bits of the integrity header a [`frame`]d message carries: a 32-bit
+/// payload bit-length plus a 64-bit FNV-1a checksum.
+pub const FRAME_HEADER_BITS: usize = 96;
+
+/// FNV-1a over the payload's packed words (zero-padded past `len`, so the
+/// digest is canonical) plus its bit length.
+fn payload_checksum(payload: &BitString) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &word in payload.words() {
+        for byte in word.to_le_bytes() {
+            hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    for byte in (payload.len() as u64).to_le_bytes() {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Wraps a payload in integrity framing: 32 length bits, 64 checksum bits,
+/// then the payload verbatim.
+pub fn frame(payload: &BitString) -> BitString {
+    let mut framed = BitString::with_capacity(FRAME_HEADER_BITS + payload.len());
+    framed.push_bits(payload.len() as u64, 32);
+    framed.push_bits(payload_checksum(payload), 64);
+    framed.extend_from(payload);
+    framed
+}
+
+/// Validates framing and recovers the payload, classifying any damage:
+/// empty → [`FaultKind::Drop`], shorter than declared →
+/// [`FaultKind::Truncate`], longer → [`FaultKind::Duplicate`], checksum
+/// mismatch → [`FaultKind::Corrupt`].
+///
+/// # Errors
+///
+/// The detected [`FaultKind`] when the framing does not verify.
+pub fn unframe(framed: &BitString) -> Result<BitString, FaultKind> {
+    if framed.is_empty() {
+        return Err(FaultKind::Drop);
+    }
+    if framed.len() < FRAME_HEADER_BITS {
+        return Err(FaultKind::Truncate);
+    }
+    let mut reader = framed.reader();
+    let declared = reader.read_bits(32).ok_or(FaultKind::Truncate)? as usize;
+    let checksum = reader.read_bits(64).ok_or(FaultKind::Truncate)?;
+    let body = framed.len() - FRAME_HEADER_BITS;
+    if body < declared {
+        return Err(FaultKind::Truncate);
+    }
+    if body > declared {
+        return Err(FaultKind::Duplicate);
+    }
+    let words = reader.read_words(declared).ok_or(FaultKind::Truncate)?;
+    let payload = BitString::from_words(&words, declared);
+    if payload_checksum(&payload) != checksum {
+        return Err(FaultKind::Corrupt);
+    }
+    Ok(payload)
+}
+
+/// A seeded, fully deterministic fault schedule for [`FaultyTransport`].
+///
+/// Whether a given message is faulted — and how — is a pure function of
+/// `(seed, round, sender, receiver, occurrence)`: the coordinates are mixed
+/// into a per-message ChaCha8 stream, so the schedule does not depend on
+/// delivery order, worker count or wall clock, and replaying a run replays
+/// its faults bit for bit. `rate_ppm` is the per-message fault probability
+/// in parts per million; faulted messages draw uniformly among the enabled
+/// [`INJECTABLE_FAULTS`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate_ppm: u32,
+    kinds: u8,
+}
+
+impl FaultPlan {
+    /// A schedule injecting `kinds` at `rate_ppm` parts per million,
+    /// driven by `seed`. Non-injectable kinds ([`FaultKind::Disconnect`])
+    /// are ignored.
+    pub fn new(seed: u64, rate_ppm: u32, kinds: &[FaultKind]) -> Self {
+        let mask = kinds.iter().fold(0u8, |acc, kind| acc | kind.mask());
+        Self {
+            seed,
+            rate_ppm: rate_ppm.min(1_000_000),
+            kinds: mask,
+        }
+    }
+
+    /// The empty schedule: injects nothing, ever.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            rate_ppm: 0,
+            kinds: 0,
+        }
+    }
+
+    /// True when this plan can never fault a message (zero rate or no
+    /// enabled kinds) — [`FaultyTransport`] then passes every delivery
+    /// through untouched.
+    pub fn is_empty(&self) -> bool {
+        self.rate_ppm == 0 || self.kinds == 0
+    }
+
+    /// The driving seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-message fault rate in parts per million.
+    pub fn rate_ppm(&self) -> u32 {
+        self.rate_ppm
+    }
+
+    /// The enabled fault kinds, in [`INJECTABLE_FAULTS`] order.
+    pub fn kinds(&self) -> Vec<FaultKind> {
+        INJECTABLE_FAULTS
+            .iter()
+            .copied()
+            .filter(|kind| self.kinds & kind.mask() != 0)
+            .collect()
+    }
+
+    /// The same schedule under a deterministically mixed seed — the hook
+    /// retry layers use to give each `(job, attempt)` its own schedule
+    /// while staying reproducible.
+    #[must_use]
+    pub fn salted(&self, salt: u64) -> Self {
+        let mut mixed = self.seed ^ FNV_OFFSET;
+        for byte in salt.to_le_bytes() {
+            mixed = (mixed ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+        Self {
+            seed: mixed,
+            rate_ppm: self.rate_ppm,
+            kinds: self.kinds,
+        }
+    }
+
+    /// The scheduled fault (and an auxiliary draw selecting e.g. the bit to
+    /// flip) for one message coordinate, or `None` to deliver cleanly.
+    /// `receiver` is `None` for a broadcast; `occurrence` distinguishes
+    /// multiple unicasts on one `(sender, receiver)` link within one
+    /// round/phase.
+    pub fn draw(
+        &self,
+        round: u64,
+        sender: NodeId,
+        receiver: Option<NodeId>,
+        occurrence: u64,
+    ) -> Option<(FaultKind, u64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let receiver_code = receiver.map_or(u64::MAX, |dst| dst.index() as u64);
+        let mut mixed = self.seed ^ FNV_OFFSET;
+        for coordinate in [round, sender.index() as u64, receiver_code, occurrence] {
+            for byte in coordinate.to_le_bytes() {
+                mixed = (mixed ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(mixed);
+        if rng.gen::<u64>() % 1_000_000 >= u64::from(self.rate_ppm) {
+            return None;
+        }
+        let enabled = self.kinds();
+        let kind = enabled[(rng.gen::<u64>() % enabled.len() as u64) as usize];
+        Some((kind, rng.gen::<u64>()))
+    }
+}
+
+/// Applies a scheduled fault to a framed message. The damage is shaped so
+/// [`unframe`] re-detects exactly the injected kind: corruption never
+/// touches the 32-bit length field, truncation always leaves at least one
+/// bit, duplication appends a full second copy.
+fn apply_fault(framed: &BitString, kind: FaultKind, aux: u64) -> BitString {
+    match kind {
+        FaultKind::Drop | FaultKind::Disconnect => BitString::new(),
+        FaultKind::Corrupt => {
+            let span = (framed.len() - 32) as u64;
+            flip_bit(framed, 32 + (aux % span) as usize)
+        }
+        FaultKind::Duplicate => framed.concat(framed),
+        FaultKind::Truncate => {
+            let body = (framed.len() - FRAME_HEADER_BITS) as u64;
+            let new_len = if body > 0 {
+                FRAME_HEADER_BITS + (aux % body) as usize
+            } else {
+                1 + (aux % (FRAME_HEADER_BITS as u64 - 1)) as usize
+            };
+            BitString::from_words(framed.words(), new_len)
+        }
+    }
+}
+
+fn flip_bit(bits: &BitString, position: usize) -> BitString {
+    let mut words = bits.words().to_vec();
+    words[position / 64] ^= 1u64 << (position % 64);
+    BitString::from_words(&words, bits.len())
+}
+
+/// A chaos-testing wrapper: screens every message of the inner transport
+/// against a [`FaultPlan`] and, when a fault is scheduled, damages the
+/// message's integrity framing and reports the detected [`TransportFault`]
+/// instead of delivering — the run aborts typed, never silently wrong.
+/// Messages the plan leaves alone reach the inner backend untouched, so a
+/// wrapper with an empty plan is byte-identical to the bare inner
+/// transport.
+///
+/// The schedule's round coordinate is derived from the engines' delivery
+/// discipline (both engines call the transport exactly once per sender per
+/// round/phase, in ascending order), so under the phase engine it counts
+/// *phases*. [`Transport::clone_box`] restarts the schedule: a nested
+/// engine replays the plan from round 0.
+#[derive(Debug)]
+pub struct FaultyTransport {
+    plan: FaultPlan,
+    inner: Box<dyn Transport>,
+    deliveries: u64,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner` under `plan`.
+    pub fn new(plan: FaultPlan, inner: Box<dyn Transport>) -> Self {
+        Self {
+            plan,
+            inner,
+            deliveries: 0,
+        }
+    }
+
+    /// Wraps the process-default backend (see [`default_transport`]).
+    pub fn with_default_inner(plan: FaultPlan) -> Self {
+        Self::new(plan, default_transport())
+    }
+
+    /// The schedule this wrapper injects.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Screens one message: on a scheduled fault, frames the payload,
+    /// applies the damage, and reports what the framing detects.
+    fn screen(
+        &self,
+        round: u64,
+        sender: NodeId,
+        receiver: Option<NodeId>,
+        occurrence: u64,
+        payload: &BitString,
+    ) -> Result<(), TransportFault> {
+        match self.plan.draw(round, sender, receiver, occurrence) {
+            None => Ok(()),
+            Some((kind, aux)) => {
+                let damaged = apply_fault(&frame(payload), kind, aux);
+                match unframe(&damaged) {
+                    // The damage was a no-op (unreachable for the shipped
+                    // injectable kinds by construction): deliver cleanly.
+                    Ok(_) => Ok(()),
+                    Err(detected) => Err(TransportFault {
+                        sender,
+                        receiver,
+                        kind: detected,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn deliver_round(
+        &mut self,
+        config: &CliqueConfig,
+        sender: NodeId,
+        outbox: &mut Outbox,
+        inboxes: &mut [Inbox],
+    ) -> Result<(), TransportFault> {
+        let round = self.deliveries / config.n as u64;
+        self.deliveries += 1;
+        if !self.plan.is_empty() {
+            for (occurrence, (dst, msg)) in outbox.unicasts.iter().enumerate() {
+                self.screen(round, sender, Some(*dst), occurrence as u64, msg)?;
+            }
+            if let Some(msg) = &outbox.broadcast {
+                self.screen(round, sender, None, 0, msg)?;
+            }
+        }
+        self.inner.deliver_round(config, sender, outbox, inboxes)
+    }
+
+    fn deliver_phase(
+        &mut self,
+        config: &CliqueConfig,
+        sender: NodeId,
+        outbox: PhaseOutbox,
+        inboxes: &mut [PhaseInbox],
+    ) -> Result<(), TransportFault> {
+        let round = self.deliveries / config.n as u64;
+        self.deliveries += 1;
+        if self.plan.is_empty() {
+            return self.inner.deliver_phase(config, sender, outbox, inboxes);
+        }
+        let (broadcast, unicasts) = outbox.into_parts();
+        if let Some(msg) = &broadcast {
+            self.screen(round, sender, None, 0, msg)?;
+        }
+        for (occurrence, (dst, msg)) in unicasts.iter().enumerate() {
+            self.screen(round, sender, Some(*dst), occurrence as u64, msg)?;
+        }
+        let mut rebuilt = PhaseOutbox::new();
+        if let Some(msg) = broadcast {
+            rebuilt.broadcast(msg);
+        }
+        for (dst, msg) in unicasts {
+            rebuilt.send(dst, msg);
+        }
+        self.inner.deliver_phase(config, sender, rebuilt, inboxes)
+    }
+
+    /// The same plan over a clone of the inner backend, with the schedule
+    /// restarted at round 0 (nested engines replay the plan from the top).
+    fn clone_box(&self) -> Box<dyn Transport> {
+        Box::new(Self {
+            plan: self.plan,
+            inner: self.inner.clone_box(),
+            deliveries: 0,
+        })
     }
 }
 
@@ -100,7 +584,7 @@ impl Transport for InMemoryTransport {
         sender: NodeId,
         outbox: &mut Outbox,
         inboxes: &mut [Inbox],
-    ) {
+    ) -> Result<(), TransportFault> {
         for (dst, msg) in outbox.unicasts.drain(..) {
             inboxes[dst.index()].insert_owned(sender, msg);
         }
@@ -112,6 +596,7 @@ impl Transport for InMemoryTransport {
                 inboxes[dst.index()].insert_shared(sender, Arc::clone(&shared));
             }
         }
+        Ok(())
     }
 
     fn deliver_phase(
@@ -120,7 +605,7 @@ impl Transport for InMemoryTransport {
         sender: NodeId,
         outbox: PhaseOutbox,
         inboxes: &mut [PhaseInbox],
-    ) {
+    ) -> Result<(), TransportFault> {
         let (broadcast, unicasts) = outbox.into_parts();
         if let Some(msg) = broadcast {
             let shared = Arc::new(msg);
@@ -131,6 +616,7 @@ impl Transport for InMemoryTransport {
         for (dst, msg) in unicasts {
             inboxes[dst.index()].deliver_unicast(sender, msg);
         }
+        Ok(())
     }
 
     fn clone_box(&self) -> Box<dyn Transport> {
@@ -164,10 +650,21 @@ impl ChannelTransport {
         Self { tx, rx }
     }
 
-    fn send(&self, wire: Wire) {
-        // The receiving half lives in `self`, so the channel cannot be
-        // disconnected.
-        self.tx.send(wire).expect("transport channel disconnected");
+    /// Pushes one payload into the channel; a disconnected receiving
+    /// endpoint becomes a typed [`FaultKind::Disconnect`] fault instead of
+    /// a mid-round panic. (With the shipped constructor the receiver lives
+    /// in `self`, so this only fires for externally wired endpoints.)
+    fn send(
+        &self,
+        sender: NodeId,
+        receiver: Option<NodeId>,
+        wire: Wire,
+    ) -> Result<(), TransportFault> {
+        self.tx.send(wire).map_err(|_| TransportFault {
+            sender,
+            receiver,
+            kind: FaultKind::Disconnect,
+        })
     }
 }
 
@@ -188,16 +685,20 @@ impl Transport for ChannelTransport {
         sender: NodeId,
         outbox: &mut Outbox,
         inboxes: &mut [Inbox],
-    ) {
+    ) -> Result<(), TransportFault> {
         for (dst, msg) in outbox.unicasts.drain(..) {
-            self.send(Wire::Unicast { dst, payload: msg });
+            self.send(sender, Some(dst), Wire::Unicast { dst, payload: msg })?;
         }
         if let Some(msg) = outbox.broadcast.take() {
             for dst in config.topology.neighbors(sender, config.n) {
-                self.send(Wire::Broadcast {
-                    dst,
-                    payload: msg.clone(),
-                });
+                self.send(
+                    sender,
+                    None,
+                    Wire::Broadcast {
+                        dst,
+                        payload: msg.clone(),
+                    },
+                )?;
             }
         }
         while let Ok(wire) = self.rx.try_recv() {
@@ -209,6 +710,7 @@ impl Transport for ChannelTransport {
                 }
             }
         }
+        Ok(())
     }
 
     fn deliver_phase(
@@ -217,18 +719,22 @@ impl Transport for ChannelTransport {
         sender: NodeId,
         outbox: PhaseOutbox,
         inboxes: &mut [PhaseInbox],
-    ) {
+    ) -> Result<(), TransportFault> {
         let (broadcast, unicasts) = outbox.into_parts();
         if let Some(msg) = broadcast {
             for dst in config.topology.neighbors(sender, config.n) {
-                self.send(Wire::Broadcast {
-                    dst,
-                    payload: msg.clone(),
-                });
+                self.send(
+                    sender,
+                    None,
+                    Wire::Broadcast {
+                        dst,
+                        payload: msg.clone(),
+                    },
+                )?;
             }
         }
         for (dst, msg) in unicasts {
-            self.send(Wire::Unicast { dst, payload: msg });
+            self.send(sender, Some(dst), Wire::Unicast { dst, payload: msg })?;
         }
         while let Ok(wire) = self.rx.try_recv() {
             match wire {
@@ -240,6 +746,7 @@ impl Transport for ChannelTransport {
                 }
             }
         }
+        Ok(())
     }
 
     /// A fresh channel: delivery state is transient (drained within each
@@ -453,6 +960,171 @@ mod tests {
         let memory = phase_run(Box::new(InMemoryTransport));
         let channel = phase_run(Box::new(ChannelTransport::new()));
         assert_eq!(memory, channel);
+    }
+
+    #[test]
+    fn framing_round_trips_and_detects_every_injected_kind() {
+        let payloads = [
+            BitString::new(),
+            BitString::from_bits(0b1011, 4),
+            BitString::from_bits(u64::MAX, 64),
+            {
+                let mut long = BitString::new();
+                for i in 0..13u64 {
+                    long.push_bits(i.wrapping_mul(0x9E37), 17);
+                }
+                long
+            },
+        ];
+        for payload in &payloads {
+            let framed = frame(payload);
+            assert_eq!(framed.len(), FRAME_HEADER_BITS + payload.len());
+            assert_eq!(unframe(&framed).as_ref(), Ok(payload));
+            for kind in INJECTABLE_FAULTS {
+                for aux in [0u64, 1, 7, u64::MAX - 3] {
+                    let damaged = apply_fault(&framed, kind, aux);
+                    assert_eq!(
+                        unframe(&damaged),
+                        Err(kind),
+                        "kind {kind} aux {aux} payload {} bits",
+                        payload.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_draws_are_deterministic_and_respect_rate() {
+        let plan = FaultPlan::new(0xC4A05, 250_000, &INJECTABLE_FAULTS);
+        let mut faulted = 0u32;
+        for round in 0..4u64 {
+            for sender in 0..8 {
+                for receiver in 0..8 {
+                    let draw =
+                        plan.draw(round, NodeId::new(sender), Some(NodeId::new(receiver)), 0);
+                    assert_eq!(
+                        draw,
+                        plan.draw(round, NodeId::new(sender), Some(NodeId::new(receiver)), 0),
+                        "draw is not a pure function of its coordinates"
+                    );
+                    faulted += u32::from(draw.is_some());
+                }
+            }
+        }
+        // 256 messages at 25%: the seeded schedule must fault some but not
+        // all of them (exact count pinned by determinism, not asserted).
+        assert!(faulted > 0 && faulted < 256, "faulted {faulted}/256");
+        assert!(FaultPlan::none().draw(0, NodeId::new(0), None, 0).is_none());
+        assert!(FaultPlan::new(1, 0, &INJECTABLE_FAULTS).is_empty());
+        assert!(FaultPlan::new(1, 500, &[]).is_empty());
+        assert!(FaultPlan::new(1, 500, &[FaultKind::Disconnect]).is_empty());
+        let salted = plan.salted(3);
+        assert_eq!(salted.rate_ppm(), plan.rate_ppm());
+        assert_ne!(salted.seed(), plan.seed());
+        assert_eq!(plan.salted(3), plan.salted(3));
+        assert_ne!(plan.salted(3), plan.salted(4));
+    }
+
+    #[test]
+    fn empty_plan_wrapper_is_byte_identical_to_bare_inner() {
+        for (bare, wrapped) in [
+            (
+                round_run(Box::new(InMemoryTransport)),
+                round_run(Box::new(FaultyTransport::new(
+                    FaultPlan::none(),
+                    Box::new(InMemoryTransport),
+                ))),
+            ),
+            (
+                round_run(Box::new(ChannelTransport::new())),
+                round_run(Box::new(FaultyTransport::new(
+                    FaultPlan::none(),
+                    Box::new(ChannelTransport::new()),
+                ))),
+            ),
+        ] {
+            assert_eq!(bare, wrapped);
+        }
+        let bare = phase_run(Box::new(InMemoryTransport));
+        let wrapped = phase_run(Box::new(FaultyTransport::new(
+            FaultPlan::none(),
+            Box::new(InMemoryTransport),
+        )));
+        assert_eq!(bare, wrapped);
+    }
+
+    #[test]
+    fn saturated_plan_faults_the_first_delivery_with_a_typed_error() {
+        let plan = FaultPlan::new(7, 1_000_000, &[FaultKind::Corrupt]);
+        let cfg = CliqueConfig::unicast(4, 8);
+        let nodes = (0..4)
+            .map(|_| Mixed {
+                done: false,
+                digest: 0,
+            })
+            .collect();
+        let mut engine = RoundEngine::new(cfg, nodes);
+        engine.set_transport(Box::new(FaultyTransport::with_default_inner(plan)));
+        let err = engine.run(4).unwrap_err();
+        match err {
+            crate::model::SimError::TransportFault {
+                round,
+                sender: _,
+                receiver: _,
+                kind,
+            } => {
+                assert_eq!(round, 0, "the first exchanging round faults");
+                assert_eq!(kind, FaultKind::Corrupt);
+            }
+            other => panic!("expected a transport fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase_engine_surfaces_injected_faults() {
+        let plan = FaultPlan::new(11, 1_000_000, &[FaultKind::Drop]);
+        let n = 5;
+        let mut engine = PhaseEngine::new(CliqueConfig::unicast(n, 2));
+        engine.set_transport(Box::new(FaultyTransport::with_default_inner(plan)));
+        let outs: Vec<PhaseOutbox> = (0..n)
+            .map(|i| {
+                let mut out = PhaseOutbox::new();
+                out.broadcast(BitString::from_bits(i as u64, 4));
+                out
+            })
+            .collect();
+        let err = engine.exchange("chaos", outs).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::model::SimError::TransportFault {
+                kind: FaultKind::Drop,
+                receiver: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn channel_disconnect_is_a_typed_fault_not_a_panic() {
+        // Wire a transport whose receiving endpoint is already gone, as a
+        // real socket backend could observe mid-run.
+        let (tx, rx) = mpsc::channel();
+        drop(rx);
+        let mut transport = ChannelTransport {
+            tx,
+            rx: mpsc::channel().1,
+        };
+        let config = CliqueConfig::unicast(3, 8);
+        let mut outbox = Outbox::new();
+        outbox.send(NodeId::new(1), BitString::from_bits(1, 1));
+        let mut inboxes: Vec<Inbox> = (0..3).map(|_| Inbox::empty(3)).collect();
+        let fault = transport
+            .deliver_round(&config, NodeId::new(0), &mut outbox, &mut inboxes)
+            .unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Disconnect);
+        assert_eq!(fault.sender, NodeId::new(0));
+        assert_eq!(fault.receiver, Some(NodeId::new(1)));
     }
 
     #[test]
