@@ -6,7 +6,11 @@
 //!
 //! * packed `BitMatrix` multiplication ([`BitMatrix::mul_f2`], plus the
 //!   word-level and Four-Russians kernels individually) against the retained
-//!   bool-at-a-time reference `matmul_f2_scalar`, at `d ∈ {64, 128, 256}`;
+//!   bool-at-a-time reference `matmul_f2_scalar`, at `d ∈ {64, 128, 256}`,
+//!   once per lane width (`u64` and `u128`; `--lane {64,128}` restricts the
+//!   sweep to one width);
+//! * the cache-blocked Four-Russians kernel against the retained
+//!   single-table (unblocked) walk, at `d ∈ {256, 512, 1024}`;
 //! * the counting-semiring product of 0/1 matrices (the local kernel of the
 //!   `SemiringMatMul`/`TriangleCount` protocols): the word-parallel
 //!   AND+popcount path against the schoolbook `u64` triple loop, at the
@@ -25,6 +29,7 @@
 //! cargo run -p clique-bench --release --bin kernels > BENCH_kernels.json
 //! cargo run -p clique-bench --release --bin kernels -- --smoke      # CI smoke
 //! cargo run -p clique-bench --release --bin kernels -- --threads 8  # pool size
+//! cargo run -p clique-bench --release --bin kernels -- --lane 128   # one lane width only
 //! ```
 //!
 //! Every timed result is cross-checked against the scalar oracle before it
@@ -35,8 +40,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use clique_bench::parse_threads_flag;
+use clique_bench::{parse_lane_flag, parse_threads_flag};
 use clique_core::circuits::matmul::{matmul_f2_scalar, matmul_f2_strassen};
+use clique_core::sim::lane::Word;
 use clique_core::sim::linalg::{BitMatrix, IntMatrix, PAR_MIN_ROWS};
 use clique_core::sim::par;
 use rand::Rng;
@@ -58,15 +64,20 @@ fn time_ns(budget_ms: u64, max_reps: u32, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / f64::from(reps)
 }
 
-fn random_matrix(rng: &mut ChaCha8Rng, d: usize) -> BitMatrix {
+fn random_matrix_lanes<W: Word>(rng: &mut ChaCha8Rng, d: usize) -> BitMatrix<W> {
     let rows: Vec<Vec<bool>> = (0..d)
         .map(|_| (0..d).map(|_| rng.gen_bool(0.5)).collect())
         .collect();
     BitMatrix::from_rows(&rows)
 }
 
+fn random_matrix(rng: &mut ChaCha8Rng, d: usize) -> BitMatrix {
+    random_matrix_lanes(rng, d)
+}
+
 struct MatMulRow {
     d: usize,
+    lane: usize,
     scalar_ns: f64,
     packed_ns: f64,
     word_ns: f64,
@@ -79,15 +90,20 @@ impl MatMulRow {
     }
 }
 
-fn bench_matmul(d: usize, budget_ms: u64, max_reps: u32, rng: &mut ChaCha8Rng) -> MatMulRow {
-    let a = random_matrix(rng, d);
-    let b = random_matrix(rng, d);
+fn bench_matmul<W: Word>(
+    d: usize,
+    budget_ms: u64,
+    max_reps: u32,
+    rng: &mut ChaCha8Rng,
+) -> MatMulRow {
+    let a: BitMatrix<W> = random_matrix_lanes(rng, d);
+    let b: BitMatrix<W> = random_matrix_lanes(rng, d);
     let a_rows = a.to_rows();
     let b_rows = b.to_rows();
 
     // Correctness gate: all three packed paths must agree with the scalar
     // oracle on this instance before anything is timed.
-    let expected = BitMatrix::from_rows(&matmul_f2_scalar(&a_rows, &b_rows));
+    let expected: BitMatrix<W> = BitMatrix::from_rows(&matmul_f2_scalar(&a_rows, &b_rows));
     for (name, got) in [
         ("mul_f2", a.mul_f2(&b)),
         ("mul_f2_word", a.mul_f2_word(&b)),
@@ -101,6 +117,7 @@ fn bench_matmul(d: usize, budget_ms: u64, max_reps: u32, rng: &mut ChaCha8Rng) -
 
     MatMulRow {
         d,
+        lane: W::BITS,
         scalar_ns: time_ns(budget_ms, max_reps, || {
             black_box(matmul_f2_scalar(black_box(&a_rows), black_box(&b_rows)));
         }),
@@ -223,6 +240,49 @@ fn bench_counting_parallel(
     }
 }
 
+struct BlockedRow {
+    d: usize,
+    unblocked_ns: f64,
+    blocked_ns: f64,
+}
+
+impl BlockedRow {
+    fn speedup(&self) -> f64 {
+        self.unblocked_ns / self.blocked_ns
+    }
+}
+
+/// Benches the cache-blocked Four-Russians kernel against the retained
+/// single-table (unblocked) walk. Single worker, per the baseline
+/// convention: the row isolates the tiling, not the pool.
+fn bench_four_russians_blocked(
+    d: usize,
+    budget_ms: u64,
+    max_reps: u32,
+    rng: &mut ChaCha8Rng,
+) -> BlockedRow {
+    let a = random_matrix(rng, d);
+    let b = random_matrix(rng, d);
+
+    // Correctness gate: the blocked and unblocked kernels must agree bit
+    // for bit before anything is timed.
+    assert_eq!(
+        a.mul_f2_four_russians(&b),
+        a.mul_f2_four_russians_unblocked(&b),
+        "blocked Four-Russians disagrees with the unblocked kernel at d={d}"
+    );
+
+    BlockedRow {
+        d,
+        unblocked_ns: time_ns(budget_ms, max_reps, || {
+            black_box(black_box(&a).mul_f2_four_russians_unblocked(black_box(&b)));
+        }),
+        blocked_ns: time_ns(budget_ms, max_reps, || {
+            black_box(black_box(&a).mul_f2_four_russians(black_box(&b)));
+        }),
+    }
+}
+
 struct CircuitRow {
     assignments: usize,
     sequential_ns: f64,
@@ -274,6 +334,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut threads_flag: Option<usize> = None;
+    let mut lane_flag: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -282,8 +343,12 @@ fn main() {
                 threads_flag = Some(parse_threads_flag(args.get(i + 1)));
                 i += 1;
             }
+            "--lane" => {
+                lane_flag = Some(parse_lane_flag(args.get(i + 1)));
+                i += 1;
+            }
             arg => {
-                eprintln!("error: unknown flag {arg} (expected --smoke or --threads N)");
+                eprintln!("error: unknown flag {arg} (expected --smoke, --threads N or --lane W)");
                 std::process::exit(2);
             }
         }
@@ -304,12 +369,31 @@ fn main() {
     // baseline comes from a full run.
     let (budget_ms, max_reps) = if smoke { (1, 3) } else { (300, 10_000) };
 
+    // `--lane` restricts the packed-matmul rows to one lane width; by
+    // default both widths are measured (the u128 rows are the lane
+    // baseline, not the default path).
+    let lanes: &[usize] = match lane_flag {
+        Some(64) => &[64],
+        Some(128) => &[128],
+        _ => &[64, 128],
+    };
+
     let mut rng = ChaCha8Rng::seed_from_u64(0xF2F2);
-    let matmul_rows: Vec<MatMulRow> = [64usize, 128, 256]
+    let mut matmul_rows: Vec<MatMulRow> = Vec::new();
+    for &lane in lanes {
+        for &d in &[64usize, 128, 256] {
+            eprintln!("benchmarking matmul d={d} (u{lane} lanes) …");
+            matmul_rows.push(match lane {
+                64 => bench_matmul::<u64>(d, budget_ms, max_reps, &mut rng),
+                _ => bench_matmul::<u128>(d, budget_ms, max_reps, &mut rng),
+            });
+        }
+    }
+    let blocked_rows: Vec<BlockedRow> = [256usize, 512, 1024]
         .iter()
         .map(|&d| {
-            eprintln!("benchmarking matmul d={d} …");
-            bench_matmul(d, budget_ms, max_reps, &mut rng)
+            eprintln!("benchmarking blocked four-russians d={d} …");
+            bench_four_russians_blocked(d, budget_ms, max_reps, &mut rng)
         })
         .collect();
     let counting_rows: Vec<CountingRow> = [64usize, 128, 256]
@@ -341,14 +425,27 @@ fn main() {
     out.push_str("  \"matmul_f2\": [\n");
     for (i, row) in matmul_rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"d\": {}, \"scalar_ns\": {:.0}, \"packed_ns\": {:.0}, \"word_ns\": {:.0}, \"four_russians_ns\": {:.0}, \"speedup_packed_vs_scalar\": {:.1}}}{}\n",
+            "    {{\"d\": {}, \"lane\": {}, \"scalar_ns\": {:.0}, \"packed_ns\": {:.0}, \"word_ns\": {:.0}, \"four_russians_ns\": {:.0}, \"speedup_packed_vs_scalar\": {:.1}}}{}\n",
             row.d,
+            row.lane,
             row.scalar_ns,
             row.packed_ns,
             row.word_ns,
             row.four_russians_ns,
             row.speedup(),
             if i + 1 < matmul_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"four_russians_blocked\": [\n");
+    for (i, row) in blocked_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"d\": {}, \"unblocked_ns\": {:.0}, \"blocked_ns\": {:.0}, \"speedup_blocked_vs_unblocked\": {:.2}}}{}\n",
+            row.d,
+            row.unblocked_ns,
+            row.blocked_ns,
+            row.speedup(),
+            if i + 1 < blocked_rows.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
@@ -396,13 +493,16 @@ fn main() {
         .iter()
         .find(|r| r.d == 256)
         .expect("d=256 row");
+    let b512 = blocked_rows.iter().find(|r| r.d == 512).expect("d=512 row");
     eprintln!(
-        "packed matmul speedup at d=256: {:.1}x; counting popcount speedup: {:.1}x; parallel counting speedup ({} workers on {} cores): {:.1}x; evaluate_batch speedup: {:.1}x",
+        "packed matmul speedup at d=256 (u{} lanes): {:.1}x; counting popcount speedup: {:.1}x; parallel counting speedup ({} workers on {} cores): {:.1}x; blocked four-russians at d=512: {:.2}x; evaluate_batch speedup: {:.1}x",
+        d256.lane,
         d256.speedup(),
         c256.speedup(),
         p256.threads,
         host_parallelism,
         p256.speedup(),
+        b512.speedup(),
         circuit_row.speedup()
     );
     if smoke {

@@ -1,0 +1,213 @@
+//! Reusable backing storage for message [`BitString`]s.
+//!
+//! The engines build and tear down one outbox payload per node per round;
+//! at scale that is millions of short-lived `Vec` allocations whose sizes
+//! repeat every round. [`BufferArena`] keeps the word backings of consumed
+//! messages in a small pool so the next round's payloads start from
+//! already-sized allocations ([`BitString::from_recycled`] /
+//! [`BitString::into_backing`]).
+//!
+//! The arena is a *host-side allocation strategy only*: an acquired buffer
+//! is always logically empty (length 0 bits), so transcripts, ledgers and
+//! checksums are identical with or without recycling — the same invariant
+//! the lane width obeys (see [`lane`](crate::lane)).
+
+use std::fmt;
+
+use crate::bits::BitString;
+use crate::lane::{DefaultLane, Word};
+
+/// Default maximum number of pooled backings per arena. Round-engine
+/// traffic peaks at one payload per (sender, receiver) pair in flight, so
+/// a few hundred buffers cover the `n ≤ 256` experiment grid without
+/// holding unbounded memory.
+pub const DEFAULT_POOL_BUFFERS: usize = 256;
+
+/// A pool of recycled word backings for message [`BitString`]s.
+///
+/// Buffers enter through [`recycle`](Self::recycle) (or
+/// [`recycle_backing`](Self::recycle_backing)) and leave through
+/// [`acquire`](Self::acquire); the pool never exceeds its configured
+/// capacity, dropping excess buffers instead. [`stats`](Self::stats)
+/// reports how often an acquire was served from the pool.
+///
+/// Cloning an arena yields a fresh, empty pool with the same capacity:
+/// pooled memory is an engine-local cache, not state worth duplicating
+/// (the engines derive `Clone` for snapshotting configuration, not
+/// buffers).
+pub struct BufferArena<W: Word = DefaultLane> {
+    pool: Vec<Vec<W>>,
+    capacity: usize,
+    served_fresh: u64,
+    served_reused: u64,
+}
+
+/// Reuse counters of a [`BufferArena`] (see [`BufferArena::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Acquires served by a fresh allocation (pool was empty).
+    pub served_fresh: u64,
+    /// Acquires served from the pool.
+    pub served_reused: u64,
+}
+
+impl ArenaStats {
+    /// Total number of acquires.
+    pub fn total(&self) -> u64 {
+        self.served_fresh + self.served_reused
+    }
+}
+
+impl<W: Word> BufferArena<W> {
+    /// Creates an empty arena with the default pool capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_POOL_BUFFERS)
+    }
+
+    /// Creates an empty arena holding at most `capacity` pooled backings.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            pool: Vec::new(),
+            capacity,
+            served_fresh: 0,
+            served_reused: 0,
+        }
+    }
+
+    /// Takes an empty [`BitString`], reusing a pooled backing when one is
+    /// available.
+    pub fn acquire(&mut self) -> BitString<W> {
+        match self.pool.pop() {
+            Some(backing) => {
+                self.served_reused += 1;
+                BitString::from_recycled(backing)
+            }
+            None => {
+                self.served_fresh += 1;
+                BitString::new()
+            }
+        }
+    }
+
+    /// Returns a consumed message's backing to the pool (dropped if the
+    /// pool is at capacity).
+    pub fn recycle(&mut self, message: BitString<W>) {
+        self.recycle_backing(message.into_backing());
+    }
+
+    /// Returns a raw word backing to the pool (dropped if the pool is at
+    /// capacity or the backing holds no allocation worth keeping).
+    pub fn recycle_backing(&mut self, backing: Vec<W>) {
+        if self.pool.len() < self.capacity && backing.capacity() > 0 {
+            self.pool.push(backing);
+        }
+    }
+
+    /// Removes and returns one pooled backing, if any. The engines use this
+    /// to move pooled memory from a central arena into per-node arenas
+    /// before a parallel pass, so workers never contend on a shared pool.
+    pub fn take_backing(&mut self) -> Option<Vec<W>> {
+        self.pool.pop()
+    }
+
+    /// Number of backings currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Maximum number of pooled backings.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Reuse counters since construction.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            served_fresh: self.served_fresh,
+            served_reused: self.served_reused,
+        }
+    }
+}
+
+impl<W: Word> Default for BufferArena<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: Word> Clone for BufferArena<W> {
+    fn clone(&self) -> Self {
+        Self::with_capacity(self.capacity)
+    }
+}
+
+impl<W: Word> fmt::Debug for BufferArena<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferArena")
+            .field("pooled", &self.pool.len())
+            .field("capacity", &self.capacity)
+            .field("served_fresh", &self.served_fresh)
+            .field("served_reused", &self.served_reused)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_reuses_recycled_backings() {
+        let mut arena = BufferArena::<u64>::new();
+        let mut s = arena.acquire();
+        s.push_bits(0xAB, 12);
+        arena.recycle(s);
+        assert_eq!(arena.pooled(), 1);
+        let s = arena.acquire();
+        assert!(s.is_empty(), "recycled buffers must come back empty");
+        assert_eq!(arena.pooled(), 0);
+        let stats = arena.stats();
+        assert_eq!((stats.served_fresh, stats.served_reused), (1, 1));
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn pool_respects_capacity_and_skips_empty_backings() {
+        let mut arena = BufferArena::<u64>::with_capacity(2);
+        // Unallocated backings are not worth pooling.
+        arena.recycle(BitString::new());
+        assert_eq!(arena.pooled(), 0);
+        for i in 0..4u64 {
+            let mut s = BitString::new();
+            s.push_bits(i, 8);
+            arena.recycle(s);
+        }
+        assert_eq!(arena.pooled(), 2, "pool must stop at its capacity");
+    }
+
+    #[test]
+    fn recycling_never_changes_contents() {
+        let mut arena = BufferArena::<u64>::new();
+        let mut fresh = BitString::new();
+        fresh.push_bits(0b1011, 4);
+        let mut s = arena.acquire();
+        s.push_bits(u64::MAX, 40);
+        arena.recycle(s);
+        let mut reused = arena.acquire();
+        reused.push_bits(0b1011, 4);
+        assert_eq!(reused, fresh);
+        assert_eq!(reused.to_le_bytes(), fresh.to_le_bytes());
+    }
+
+    #[test]
+    fn clone_starts_cold() {
+        let mut arena = BufferArena::<u64>::with_capacity(8);
+        let mut s = arena.acquire();
+        s.push_bits(1, 1);
+        arena.recycle(s);
+        let clone = arena.clone();
+        assert_eq!(clone.pooled(), 0);
+        assert_eq!(clone.capacity(), 8);
+        assert_eq!(clone.stats().total(), 0);
+    }
+}

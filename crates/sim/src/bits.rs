@@ -5,21 +5,30 @@
 //! done at bit granularity. [`BitString`] is an append-only bit vector with a
 //! cursor-based reader ([`BitReader`]); it is the payload type used by both
 //! the low-level round engine and the high-level phase engine.
+//!
+//! The backing storage is generic over the machine-word lane
+//! ([`Word`], default [`DefaultLane`]): bits are packed
+//! least-significant-first, `W::BITS` per word. The lane width is purely a
+//! local-throughput knob — lengths, encodings and transcripts are identical
+//! at every width (pinned by the cross-width proptests in
+//! `tests/properties.rs`).
 
 use std::fmt;
 
+use crate::lane::{DefaultLane, Word};
+
 /// An append-only sequence of bits used as a message payload.
 ///
-/// Bits are stored least-significant-first inside 64-bit words. The type
-/// supports appending single bits, fixed-width unsigned integers and whole
-/// bit strings, and reading them back in order with a [`BitReader`].
+/// Bits are stored least-significant-first inside `W::BITS`-bit words. The
+/// type supports appending single bits, fixed-width unsigned integers and
+/// whole bit strings, and reading them back in order with a [`BitReader`].
 ///
 /// # Examples
 ///
 /// ```
 /// use clique_sim::bits::BitString;
 ///
-/// let mut msg = BitString::new();
+/// let mut msg: BitString = BitString::new();
 /// msg.push_bits(42, 16);
 /// msg.push_bit(true);
 /// assert_eq!(msg.len(), 17);
@@ -29,13 +38,22 @@ use std::fmt;
 /// assert_eq!(reader.read_bit(), Some(true));
 /// assert!(reader.is_exhausted());
 /// ```
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
-pub struct BitString {
-    words: Vec<u64>,
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitString<W: Word = DefaultLane> {
+    words: Vec<W>,
     len: usize,
 }
 
-impl BitString {
+impl<W: Word> Default for BitString<W> {
+    fn default() -> Self {
+        Self {
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<W: Word> BitString<W> {
     /// Creates an empty bit string.
     pub fn new() -> Self {
         Self::default()
@@ -44,9 +62,28 @@ impl BitString {
     /// Creates an empty bit string with capacity for at least `bits` bits.
     pub fn with_capacity(bits: usize) -> Self {
         Self {
-            words: Vec::with_capacity(bits.div_ceil(64)),
+            words: Vec::with_capacity(bits.div_ceil(W::BITS)),
             len: 0,
         }
+    }
+
+    /// Creates an empty bit string reusing `backing` (cleared, capacity
+    /// kept) as storage — the constructor [`BufferArena`] hands recycled
+    /// buffers back through.
+    ///
+    /// [`BufferArena`]: crate::arena::BufferArena
+    pub fn from_recycled(mut backing: Vec<W>) -> Self {
+        backing.clear();
+        Self {
+            words: backing,
+            len: 0,
+        }
+    }
+
+    /// Consumes the bit string, returning its backing word buffer (so the
+    /// allocation can be recycled via [`Self::from_recycled`]).
+    pub fn into_backing(self) -> Vec<W> {
+        self.words
     }
 
     /// Creates a bit string containing the `width` low-order bits of `value`.
@@ -62,14 +99,16 @@ impl BitString {
 
     /// Creates a bit string from a slice of booleans, one bit per element.
     ///
-    /// Packs 64 bits per word instead of appending bit by bit.
+    /// Packs `W::BITS` bits per word instead of appending bit by bit.
     pub fn from_bools(bits: &[bool]) -> Self {
         let words = bits
-            .chunks(64)
+            .chunks(W::BITS)
             .map(|chunk| {
-                let mut word = 0u64;
+                let mut word = W::ZERO;
                 for (i, &bit) in chunk.iter().enumerate() {
-                    word |= u64::from(bit) << i;
+                    if bit {
+                        word |= W::bit(i);
+                    }
                 }
                 word
             })
@@ -81,12 +120,12 @@ impl BitString {
     }
 
     /// Creates a bit string of length `len` from packed little-endian words
-    /// (bit `i` is bit `i % 64` of `words[i / 64]`).
+    /// (bit `i` is bit `i % W::BITS` of `words[i / W::BITS]`).
     ///
     /// # Panics
     ///
     /// Panics if `words` holds fewer than `len` bits.
-    pub fn from_words(words: &[u64], len: usize) -> Self {
+    pub fn from_words(words: &[W], len: usize) -> Self {
         let mut bs = Self::with_capacity(len);
         bs.push_words(words, len);
         bs
@@ -96,9 +135,9 @@ impl BitString {
     pub fn to_bools(&self) -> Vec<bool> {
         let mut out = Vec::with_capacity(self.len);
         for (w, &word) in self.words.iter().enumerate() {
-            let take = (self.len - w * 64).min(64);
+            let take = (self.len - w * W::BITS).min(W::BITS);
             for i in 0..take {
-                out.push((word >> i) & 1 == 1);
+                out.push((word >> i) & W::ONE == W::ONE);
             }
         }
         out
@@ -106,7 +145,7 @@ impl BitString {
 
     /// The packed little-endian words backing the bit string. Bits past
     /// `len()` in the last word are zero.
-    pub fn words(&self) -> &[u64] {
+    pub fn words(&self) -> &[W] {
         &self.words
     }
 
@@ -122,13 +161,13 @@ impl BitString {
 
     /// Appends a single bit.
     pub fn push_bit(&mut self, bit: bool) {
-        let word_idx = self.len / 64;
-        let bit_idx = self.len % 64;
+        let word_idx = self.len / W::BITS;
+        let bit_idx = self.len % W::BITS;
         if word_idx == self.words.len() {
-            self.words.push(0);
+            self.words.push(W::ZERO);
         }
         if bit {
-            self.words[word_idx] |= 1u64 << bit_idx;
+            self.words[word_idx] |= W::bit(bit_idx);
         }
         self.len += 1;
     }
@@ -151,14 +190,27 @@ impl BitString {
         } else {
             value & ((1u64 << width) - 1)
         };
-        let word_idx = self.len / 64;
-        let bit_idx = self.len % 64;
-        while self.words.len() * 64 < self.len + width {
-            self.words.push(0);
+        self.push_word_bits(W::from_u64(value), width);
+    }
+
+    /// Appends the `width` low-order bits of a full lane (`value` must
+    /// already be masked to `width` bits, `width <= W::BITS`).
+    fn push_word_bits(&mut self, value: W, width: usize) {
+        debug_assert!(width <= W::BITS);
+        debug_assert_eq!(value & !W::mask_low(width), W::ZERO);
+        if width == 0 {
+            return;
+        }
+        let word_idx = self.len / W::BITS;
+        let bit_idx = self.len % W::BITS;
+        while self.words.len() * W::BITS < self.len + width {
+            self.words.push(W::ZERO);
         }
         self.words[word_idx] |= value << bit_idx;
-        if bit_idx + width > 64 {
-            self.words[word_idx + 1] |= value >> (64 - bit_idx);
+        if bit_idx + width > W::BITS {
+            // The straddle spills `bit_idx + width - W::BITS` bits into the
+            // next word; the shift amount is `< width <= W::BITS`.
+            self.words[word_idx + 1] |= value >> (W::BITS - bit_idx);
         }
         self.len += width;
     }
@@ -172,27 +224,27 @@ impl BitString {
     /// # Panics
     ///
     /// Panics if `words` holds fewer than `len` bits.
-    pub fn push_words(&mut self, words: &[u64], len: usize) {
+    pub fn push_words(&mut self, words: &[W], len: usize) {
         assert!(
-            len <= words.len() * 64,
+            len <= words.len() * W::BITS,
             "{len} bits requested from {} words",
             words.len()
         );
-        let full = len / 64;
-        let rem = len % 64;
-        if self.len.is_multiple_of(64) {
+        let full = len / W::BITS;
+        let rem = len % W::BITS;
+        if self.len.is_multiple_of(W::BITS) {
             // Word-aligned fast path: memcpy the full words.
             self.words.extend_from_slice(&words[..full]);
             if rem > 0 {
-                self.words.push(words[full] & ((1u64 << rem) - 1));
+                self.words.push(words[full] & W::mask_low(rem));
             }
             self.len += len;
         } else {
             for &word in &words[..full] {
-                self.push_bits(word, 64);
+                self.push_word_bits(word, W::BITS);
             }
             if rem > 0 {
-                self.push_bits(words[full], rem);
+                self.push_word_bits(words[full] & W::mask_low(rem), rem);
             }
         }
     }
@@ -213,7 +265,7 @@ impl BitString {
     }
 
     /// Appends all bits of `other` (word-at-a-time).
-    pub fn extend_from(&mut self, other: &BitString) {
+    pub fn extend_from(&mut self, other: &BitString<W>) {
         self.push_words(&other.words, other.len);
     }
 
@@ -224,11 +276,35 @@ impl BitString {
     /// Panics if `index >= self.len()`.
     pub fn bit(&self, index: usize) -> bool {
         assert!(index < self.len, "bit index {index} out of range");
-        (self.words[index / 64] >> (index % 64)) & 1 == 1
+        (self.words[index / W::BITS] >> (index % W::BITS)) & W::ONE == W::ONE
+    }
+
+    /// Flips the bit at position `index` (used by fault injection; the
+    /// position is a model-level coordinate, so the result is identical at
+    /// every lane width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn toggle_bit(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of range");
+        self.words[index / W::BITS] ^= W::bit(index % W::BITS);
+    }
+
+    /// The bits serialised as little-endian bytes (`ceil(len / 8)` of them,
+    /// zero-padded in the last byte) — the canonical byte order shared by
+    /// every lane width, which checksums and framing are computed over.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.words.len() * W::BYTES);
+        for &word in &self.words {
+            word.extend_le_bytes(&mut bytes);
+        }
+        bytes.truncate(self.len.div_ceil(8));
+        bytes
     }
 
     /// Returns a cursor for reading the bits back in order.
-    pub fn reader(&self) -> BitReader<'_> {
+    pub fn reader(&self) -> BitReader<'_, W> {
         BitReader { bits: self, pos: 0 }
     }
 
@@ -238,14 +314,14 @@ impl BitString {
     }
 
     /// Concatenates `self` and `other` into a new bit string.
-    pub fn concat(&self, other: &BitString) -> BitString {
+    pub fn concat(&self, other: &BitString<W>) -> BitString<W> {
         let mut out = self.clone();
         out.extend_from(other);
         out
     }
 }
 
-impl fmt::Debug for BitString {
+impl<W: Word> fmt::Debug for BitString<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "BitString[{} bits: ", self.len)?;
         let shown = self.len.min(64);
@@ -259,7 +335,7 @@ impl fmt::Debug for BitString {
     }
 }
 
-impl fmt::Display for BitString {
+impl<W: Word> fmt::Display for BitString<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in 0..self.len {
             write!(f, "{}", u8::from(self.bit(i)))?;
@@ -268,7 +344,7 @@ impl fmt::Display for BitString {
     }
 }
 
-impl FromIterator<bool> for BitString {
+impl<W: Word> FromIterator<bool> for BitString<W> {
     fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
         let mut bs = BitString::new();
         for bit in iter {
@@ -278,7 +354,7 @@ impl FromIterator<bool> for BitString {
     }
 }
 
-impl Extend<bool> for BitString {
+impl<W: Word> Extend<bool> for BitString<W> {
     fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
         for bit in iter {
             self.push_bit(bit);
@@ -292,12 +368,12 @@ impl Extend<bool> for BitString {
 /// All read methods return `None` once the underlying data is exhausted,
 /// which makes malformed-message handling explicit at the call site.
 #[derive(Clone, Debug)]
-pub struct BitReader<'a> {
-    bits: &'a BitString,
+pub struct BitReader<'a, W: Word = DefaultLane> {
+    bits: &'a BitString<W>,
     pos: usize,
 }
 
-impl<'a> BitReader<'a> {
+impl<'a, W: Word> BitReader<'a, W> {
     /// Reads a single bit, advancing the cursor.
     pub fn read_bit(&mut self) -> Option<bool> {
         if self.pos >= self.bits.len() {
@@ -306,6 +382,25 @@ impl<'a> BitReader<'a> {
         let bit = self.bits.bit(self.pos);
         self.pos += 1;
         Some(bit)
+    }
+
+    /// Reads up to `W::BITS` bits as one lane, least-significant first.
+    /// `width <= W::BITS` and `pos + width <= len` are the caller's
+    /// responsibility.
+    fn read_word_bits(&mut self, width: usize) -> W {
+        debug_assert!(width <= W::BITS);
+        debug_assert!(self.pos + width <= self.bits.len());
+        if width == 0 {
+            return W::ZERO;
+        }
+        let word_idx = self.pos / W::BITS;
+        let bit_idx = self.pos % W::BITS;
+        let mut value = self.bits.words[word_idx] >> bit_idx;
+        if bit_idx + width > W::BITS {
+            value |= self.bits.words[word_idx + 1] << (W::BITS - bit_idx);
+        }
+        self.pos += width;
+        value & W::mask_low(width)
     }
 
     /// Reads `width` bits as an unsigned integer (least-significant first).
@@ -321,35 +416,22 @@ impl<'a> BitReader<'a> {
         if self.pos + width > self.bits.len() {
             return None;
         }
-        if width == 0 {
-            return Some(0);
-        }
-        let word_idx = self.pos / 64;
-        let bit_idx = self.pos % 64;
-        let mut value = self.bits.words[word_idx] >> bit_idx;
-        if bit_idx + width > 64 {
-            value |= self.bits.words[word_idx + 1] << (64 - bit_idx);
-        }
-        if width < 64 {
-            value &= (1u64 << width) - 1;
-        }
-        self.pos += width;
-        Some(value)
+        Some(self.read_word_bits(width).low_u64())
     }
 
     /// Reads `len` bits into packed little-endian words (the inverse of
     /// [`BitString::push_words`]).
     ///
     /// Returns `None` (without advancing) if fewer than `len` bits remain.
-    pub fn read_words(&mut self, len: usize) -> Option<Vec<u64>> {
+    pub fn read_words(&mut self, len: usize) -> Option<Vec<W>> {
         if self.pos + len > self.bits.len() {
             return None;
         }
-        let mut out = Vec::with_capacity(len.div_ceil(64));
+        let mut out = Vec::with_capacity(len.div_ceil(W::BITS));
         let mut remaining = len;
         while remaining > 0 {
-            let take = remaining.min(64);
-            out.push(self.read_bits(take).expect("length checked above"));
+            let take = remaining.min(W::BITS);
+            out.push(self.read_word_bits(take));
             remaining -= take;
         }
         Some(out)
@@ -393,7 +475,7 @@ pub fn bits_for_universe(universe: u64) -> usize {
     if universe <= 1 {
         0
     } else {
-        (64 - (universe - 1).leading_zeros()) as usize
+        (u64::BITS - (universe - 1).leading_zeros()) as usize
     }
 }
 
@@ -403,7 +485,7 @@ mod tests {
 
     #[test]
     fn empty_bitstring() {
-        let bs = BitString::new();
+        let bs = BitString::<DefaultLane>::new();
         assert!(bs.is_empty());
         assert_eq!(bs.len(), 0);
         assert!(bs.reader().is_exhausted());
@@ -411,7 +493,7 @@ mod tests {
 
     #[test]
     fn push_and_read_single_bits() {
-        let mut bs = BitString::new();
+        let mut bs = BitString::<DefaultLane>::new();
         bs.push_bit(true);
         bs.push_bit(false);
         bs.push_bit(true);
@@ -428,7 +510,7 @@ mod tests {
 
     #[test]
     fn push_and_read_fixed_width() {
-        let mut bs = BitString::new();
+        let mut bs = BitString::<DefaultLane>::new();
         bs.push_bits(0xDEAD_BEEF, 32);
         bs.push_bits(7, 3);
         bs.push_bits(u64::MAX, 64);
@@ -441,7 +523,7 @@ mod tests {
 
     #[test]
     fn read_past_end_returns_none() {
-        let bs = BitString::from_bits(5, 3);
+        let bs = BitString::<DefaultLane>::from_bits(5, 3);
         let mut r = bs.reader();
         assert_eq!(r.read_bits(4), None);
         assert_eq!(r.read_bits(3), Some(5));
@@ -450,7 +532,7 @@ mod tests {
 
     #[test]
     fn zero_width_reads_and_writes() {
-        let mut bs = BitString::new();
+        let mut bs = BitString::<DefaultLane>::new();
         bs.push_bits(0, 0);
         assert!(bs.is_empty());
         let mut r = bs.reader();
@@ -459,7 +541,7 @@ mod tests {
 
     #[test]
     fn uint_encoding_round_trip() {
-        let mut bs = BitString::new();
+        let mut bs = BitString::<DefaultLane>::new();
         for v in [0u64, 1, 99, 999] {
             bs.push_uint(v, 1000);
         }
@@ -474,7 +556,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn uint_out_of_range_panics() {
-        let mut bs = BitString::new();
+        let mut bs = BitString::<DefaultLane>::new();
         bs.push_uint(1000, 1000);
     }
 
@@ -492,7 +574,7 @@ mod tests {
 
     #[test]
     fn extend_and_concat() {
-        let a = BitString::from_bools(&[true, false]);
+        let a = BitString::<DefaultLane>::from_bools(&[true, false]);
         let b = BitString::from_bools(&[true, true, false]);
         let c = a.concat(&b);
         assert_eq!(c.len(), 5);
@@ -517,19 +599,34 @@ mod tests {
 
     #[test]
     fn display_and_debug_are_nonempty() {
-        let bs = BitString::from_bools(&[true, false, true]);
+        let bs = BitString::<DefaultLane>::from_bools(&[true, false, true]);
         assert_eq!(format!("{bs}"), "101");
         assert!(format!("{bs:?}").contains("3 bits"));
     }
 
-    #[test]
-    fn push_words_and_read_words_round_trip() {
-        for offset in [0usize, 1, 3, 63, 64, 65] {
-            for len in [0usize, 1, 37, 64, 100, 128, 200] {
-                let words: Vec<u64> = (0..len.div_ceil(64).max(1))
-                    .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+    /// The per-width round-trip exercised at `u64` and `u128` (width-keyed
+    /// offsets/lengths so straddles hit both lane sizes).
+    fn push_words_round_trip<W: Word>() {
+        let probes = [0usize, 1, 3, W::BITS - 1, W::BITS, W::BITS + 1];
+        let lens = [
+            0usize,
+            1,
+            37,
+            W::BITS,
+            W::BITS + 36,
+            2 * W::BITS,
+            3 * W::BITS + 8,
+        ];
+        for &offset in &probes {
+            for &len in &lens {
+                let words: Vec<W> = (0..len.div_ceil(W::BITS).max(1))
+                    .map(|i| {
+                        W::from_u64(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+                            | (W::from_u64(0xD1B5_4A32_D192_ED03u64.wrapping_mul(i as u64 + 7))
+                                << (W::BITS - 64).min(63))
+                    })
                     .collect();
-                let mut bs = BitString::new();
+                let mut bs = BitString::<W>::new();
                 for i in 0..offset {
                     bs.push_bit(i % 3 == 0);
                 }
@@ -540,17 +637,12 @@ mod tests {
                     assert_eq!(r.read_bit(), Some(i % 3 == 0));
                 }
                 let got = r.read_words(len).expect("enough bits");
-                assert_eq!(got.len(), len.div_ceil(64));
+                assert_eq!(got.len(), len.div_ceil(W::BITS));
                 for (w, &word) in got.iter().enumerate() {
-                    let width = (len - w * 64).min(64);
-                    let mask = if width == 64 {
-                        u64::MAX
-                    } else {
-                        (1u64 << width) - 1
-                    };
+                    let width = (len - w * W::BITS).min(W::BITS);
                     assert_eq!(
                         word,
-                        words[w] & mask,
+                        words[w] & W::mask_low(width),
                         "offset {offset}, len {len}, word {w}"
                     );
                 }
@@ -560,8 +652,14 @@ mod tests {
     }
 
     #[test]
+    fn push_words_and_read_words_round_trip() {
+        push_words_round_trip::<u64>();
+        push_words_round_trip::<u128>();
+    }
+
+    #[test]
     fn read_words_past_end_does_not_advance() {
-        let bs = BitString::from_bits(0b101, 3);
+        let bs: BitString<u64> = BitString::from_bits(0b101, 3);
         let mut r = bs.reader();
         assert_eq!(r.read_words(4), None);
         assert_eq!(r.position(), 0);
@@ -571,7 +669,7 @@ mod tests {
     #[test]
     fn from_words_and_to_bools_match_per_bit_paths() {
         let bools: Vec<bool> = (0..150).map(|i| (i * 7) % 5 < 2).collect();
-        let packed = BitString::from_bools(&bools);
+        let packed = BitString::<DefaultLane>::from_bools(&bools);
         let mut per_bit = BitString::new();
         for &b in &bools {
             per_bit.push_bit(b);
@@ -582,20 +680,25 @@ mod tests {
         assert_eq!(rebuilt, packed);
     }
 
+    fn unused_high_bits_stay_zero_for<W: Word>() {
+        // `words()` promises zeroed padding; push paths must maintain it.
+        let mut bs = BitString::<W>::from_bools(&[true; 70]);
+        bs.push_bits(u64::MAX, 3);
+        bs.push_words(&[W::ONES], 5);
+        let last = *bs.words().last().unwrap();
+        let used = bs.len() % W::BITS;
+        assert_eq!(last & !W::mask_low(used), W::ZERO);
+    }
+
     #[test]
     fn unused_high_bits_stay_zero() {
-        // `words()` promises zeroed padding; push paths must maintain it.
-        let mut bs = BitString::from_bools(&[true; 70]);
-        bs.push_bits(u64::MAX, 3);
-        bs.push_words(&[u64::MAX], 5);
-        let last = *bs.words().last().unwrap();
-        let used = bs.len() % 64;
-        assert_eq!(last >> used, 0);
+        unused_high_bits_stay_zero_for::<u64>();
+        unused_high_bits_stay_zero_for::<u128>();
     }
 
     #[test]
     fn crossing_word_boundaries() {
-        let mut bs = BitString::new();
+        let mut bs = BitString::<DefaultLane>::new();
         for i in 0..200u64 {
             bs.push_bits(i % 2, 1);
         }
@@ -605,5 +708,51 @@ mod tests {
             assert_eq!(r.read_bits(1), Some(i % 2));
         }
         assert_eq!(r.read_bits(16), Some(0xABCD));
+    }
+
+    #[test]
+    fn u64_and_u128_encodings_agree_bit_for_bit() {
+        let mut narrow = BitString::<u64>::new();
+        let mut wide = BitString::<u128>::new();
+        for (i, v) in [(3usize, 5u64), (64, u64::MAX), (17, 0x1F00F), (1, 1)] {
+            narrow.push_bits(v, i.min(64));
+            wide.push_bits(v, i.min(64));
+        }
+        assert_eq!(narrow.len(), wide.len());
+        assert_eq!(narrow.to_bools(), wide.to_bools());
+        assert_eq!(narrow.to_le_bytes(), wide.to_le_bytes());
+    }
+
+    #[test]
+    fn recycled_backing_behaves_like_fresh() {
+        let mut bs = BitString::<u64>::from_bools(&[true; 130]);
+        bs.push_bits(0xAB, 8);
+        let backing = bs.into_backing();
+        assert!(backing.capacity() >= 3);
+        let mut reused = BitString::from_recycled(backing);
+        assert!(reused.is_empty());
+        reused.push_bits(0xCD, 8);
+        assert_eq!(reused, BitString::from_bits(0xCD, 8));
+    }
+
+    #[test]
+    fn toggle_bit_flips_exactly_one_bit() {
+        let mut bs = BitString::<u64>::from_bools(&[false; 150]);
+        bs.toggle_bit(0);
+        bs.toggle_bit(149);
+        bs.toggle_bit(64);
+        assert!(bs.bit(0) && bs.bit(149) && bs.bit(64));
+        bs.toggle_bit(64);
+        assert!(!bs.bit(64));
+        assert_eq!(bs.iter().filter(|&b| b).count(), 2);
+    }
+
+    #[test]
+    fn le_bytes_are_canonical_and_truncated() {
+        let mut bs = BitString::<u64>::new();
+        bs.push_bits(0xABCD, 16);
+        bs.push_bits(0b101, 3);
+        // 19 bits -> 3 bytes: CD AB 05 (bit 16..18 = 101 -> 0b101 = 5).
+        assert_eq!(bs.to_le_bytes(), vec![0xCD, 0xAB, 0x05]);
     }
 }

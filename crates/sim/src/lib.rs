@@ -75,8 +75,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bits;
 pub mod engine;
+pub mod lane;
 pub mod linalg;
 pub mod metrics;
 pub mod model;
@@ -90,8 +92,10 @@ pub mod transport;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use crate::arena::{ArenaStats, BufferArena};
     pub use crate::bits::{bits_for_universe, BitReader, BitString};
     pub use crate::engine::RoundEngine;
+    pub use crate::lane::{DefaultLane, Word};
     pub use crate::linalg::{BitMatrix, IntMatrix};
     pub use crate::metrics::{Metrics, PhaseRecord, RunReport};
     pub use crate::model::{
@@ -108,7 +112,9 @@ pub mod prelude {
     };
 }
 
+pub use arena::{ArenaStats, BufferArena};
 pub use bits::BitString;
+pub use lane::{DefaultLane, Word};
 pub use linalg::BitMatrix;
 pub use metrics::{Metrics, RunReport};
 pub use model::{CliqueConfig, CliqueConfigBuilder, CommMode, SimError};

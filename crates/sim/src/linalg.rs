@@ -3,8 +3,9 @@
 //! The Theorem 2 transfer makes `F₂` matrix multiplication the workhorse
 //! primitive of the reproduction (Section 2.1 and the algebraic-methods
 //! follow-ups), so the host-side representation matters: [`BitMatrix`] packs
-//! each row into `u64` words and multiplies with word operations — 64 field
-//! elements per machine instruction — instead of one `bool` at a time.
+//! each row into machine-word lanes ([`Word`], default [`DefaultLane`]) and
+//! multiplies with word operations — `W::BITS` field elements per machine
+//! instruction — instead of one `bool` at a time.
 //!
 //! Two multiplication kernels are provided:
 //!
@@ -13,6 +14,11 @@
 //! * [`BitMatrix::mul_f2_four_russians`] — the Method of Four Russians:
 //!   group the rows of `B` in blocks of 8, precompute all 256 XOR
 //!   combinations per block, then handle 8 columns of `A` per table lookup.
+//!   The tables are built in *tiles* of several blocks
+//!   ([`M4R_TILE_BYTES`]) so each output row is loaded and stored once per
+//!   tile instead of once per block — the unblocked single-table walk is
+//!   kept as [`BitMatrix::mul_f2_four_russians_unblocked`] for comparison
+//!   (the `kernels` bench bin reports the ratio).
 //!
 //! [`BitMatrix::mul_f2`] dispatches between them (Four Russians from
 //! dimension 256 up). [`BitMatrix::mul_bool`] (OR/AND) and
@@ -27,14 +33,15 @@
 //! [`par::set_threads`] / `CLIQUE_THREADS`; the `*_with_threads` variants
 //! take an explicit budget). Threading sits behind the same dispatcher seam
 //! as the Four-Russians threshold: it selects an execution strategy, never a
-//! different result. Packing and threading are *host-side* optimisations
-//! only: protocols built on these kernels exchange exactly the same
-//! transcripts as the `Vec<Vec<bool>>` code they replaced (pinned by
-//! `tests/protocol_regression.rs`).
+//! different result. Packing, lane width and threading are *host-side*
+//! optimisations only: protocols built on these kernels exchange exactly the
+//! same transcripts as the `Vec<Vec<bool>>` code they replaced (pinned by
+//! `tests/protocol_regression.rs` and the cross-width proptests).
 
 use std::fmt;
 
 use crate::bits::BitString;
+use crate::lane::{DefaultLane, Word};
 use crate::par;
 
 /// Row count from which [`BitMatrix::mul_f2`] switches to the Method of
@@ -51,6 +58,31 @@ pub const PAR_MIN_ROWS: usize = 64;
 /// tables).
 const M4R_BLOCK: usize = 8;
 
+/// Combination-table bytes the blocked Four-Russians kernel keeps hot per
+/// tile. Several 8-row tables are built side by side up to this budget and
+/// applied to every output row in one pass, so the output matrix is
+/// streamed once per *tile* instead of once per *block*, bounding the hot
+/// working set independent of the matrix dimension. 64 KiB is the tested
+/// constant: the `probe_tile_sizes` ignored test sweeps tile sizes against
+/// the unblocked walk, and on this single-core container every size from
+/// 16 KiB to 256 KiB measures within noise of the unblocked kernel up to
+/// `d = 2048` (hardware prefetch covers the streaming output passes), while
+/// ≥ 512 KiB tiles measure clearly slower; 64 KiB keeps the tables inside
+/// a typical per-core L2 on wider hosts. The constant only selects an
+/// execution schedule, never a different result.
+pub const M4R_TILE_BYTES: usize = 64 * 1024;
+
+/// Output-row bytes the blocked Four-Russians kernel keeps L1-resident
+/// while it applies the tables of one tile (the inner level of the
+/// two-level tiling in `mul_f2_m4r_tiled_range`).
+const M4R_ROW_TILE_BYTES: usize = 32 * 1024;
+
+/// Number of 8-row blocks whose tables fit one tile (at least 1).
+fn m4r_tile_blocks(words_per_row: usize, bytes_per_word: usize) -> usize {
+    let table_bytes = (1usize << M4R_BLOCK) * words_per_row * bytes_per_word;
+    (M4R_TILE_BYTES / table_bytes.max(1)).max(1)
+}
+
 /// Worker count for a product with `rows` output rows under a `threads`
 /// budget: 1 below [`PAR_MIN_ROWS`], else at most one worker per row.
 fn row_workers(rows: usize, threads: usize) -> usize {
@@ -61,8 +93,8 @@ fn row_workers(rows: usize, threads: usize) -> usize {
     }
 }
 
-/// A dense Boolean matrix with rows packed into little-endian `u64` words
-/// (column `j` of row `i` is bit `j % 64` of word `j / 64`).
+/// A dense Boolean matrix with rows packed into little-endian words
+/// (column `j` of row `i` is bit `j % W::BITS` of word `j / W::BITS`).
 ///
 /// Bits past `cols` in the last word of each row are always zero; every
 /// mutating method maintains this invariant, which the multiplication
@@ -73,28 +105,28 @@ fn row_workers(rows: usize, threads: usize) -> usize {
 /// ```
 /// use clique_sim::linalg::BitMatrix;
 ///
-/// let a = BitMatrix::from_rows(&[vec![true, false], vec![true, true]]);
+/// let a: BitMatrix = BitMatrix::from_rows(&[vec![true, false], vec![true, true]]);
 /// let id = BitMatrix::identity(2);
 /// assert_eq!(a.mul_f2(&id), a);
 /// assert!(a.get(1, 1));
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct BitMatrix {
+pub struct BitMatrix<W: Word = DefaultLane> {
     rows: usize,
     cols: usize,
     words_per_row: usize,
-    data: Vec<u64>,
+    data: Vec<W>,
 }
 
-impl BitMatrix {
+impl<W: Word> BitMatrix<W> {
     /// Creates an all-zero `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        let words_per_row = cols.div_ceil(64);
+        let words_per_row = cols.div_ceil(W::BITS);
         Self {
             rows,
             cols,
             words_per_row,
-            data: vec![0u64; rows * words_per_row],
+            data: vec![W::ZERO; rows * words_per_row],
         }
     }
 
@@ -119,7 +151,9 @@ impl BitMatrix {
             assert_eq!(row.len(), cols, "row {i} has length {}", row.len());
             let words = m.row_words_mut(i);
             for (j, &bit) in row.iter().enumerate() {
-                words[j / 64] |= u64::from(bit) << (j % 64);
+                if bit {
+                    words[j / W::BITS] |= W::bit(j % W::BITS);
+                }
             }
         }
         m
@@ -136,7 +170,9 @@ impl BitMatrix {
         for (i, row) in bits.chunks(cols.max(1)).enumerate().take(rows) {
             let words = m.row_words_mut(i);
             for (j, &bit) in row.iter().enumerate() {
-                words[j / 64] |= u64::from(bit) << (j % 64);
+                if bit {
+                    words[j / W::BITS] |= W::bit(j % W::BITS);
+                }
             }
         }
         m
@@ -174,7 +210,7 @@ impl BitMatrix {
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of range"
         );
-        (self.data[i * self.words_per_row + j / 64] >> (j % 64)) & 1 == 1
+        (self.data[i * self.words_per_row + j / W::BITS] >> (j % W::BITS)) & W::ONE == W::ONE
     }
 
     /// Sets the entry at `(i, j)`.
@@ -187,11 +223,11 @@ impl BitMatrix {
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of range"
         );
-        let word = &mut self.data[i * self.words_per_row + j / 64];
+        let word = &mut self.data[i * self.words_per_row + j / W::BITS];
         if value {
-            *word |= 1u64 << (j % 64);
+            *word |= W::bit(j % W::BITS);
         } else {
-            *word &= !(1u64 << (j % 64));
+            *word &= !W::bit(j % W::BITS);
         }
     }
 
@@ -200,7 +236,7 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn row_words(&self, i: usize) -> &[u64] {
+    pub fn row_words(&self, i: usize) -> &[W] {
         assert!(i < self.rows, "row {i} out of range");
         &self.data[i * self.words_per_row..(i + 1) * self.words_per_row]
     }
@@ -211,14 +247,14 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn row_words_mut(&mut self, i: usize) -> &mut [u64] {
+    pub fn row_words_mut(&mut self, i: usize) -> &mut [W] {
         assert!(i < self.rows, "row {i} out of range");
         &mut self.data[i * self.words_per_row..(i + 1) * self.words_per_row]
     }
 
     /// Row `i` as a [`BitString`] of `cols()` bits, ready to ship as a
     /// message payload.
-    pub fn row_bits(&self, i: usize) -> BitString {
+    pub fn row_bits(&self, i: usize) -> BitString<W> {
         BitString::from_words(self.row_words(i), self.cols)
     }
 
@@ -229,9 +265,9 @@ impl BitMatrix {
     ///
     /// Panics if `i` is out of range or `words` holds fewer than `cols()`
     /// bits.
-    pub fn set_row_words(&mut self, i: usize, words: &[u64]) {
+    pub fn set_row_words(&mut self, i: usize, words: &[W]) {
         assert!(
-            words.len() * 64 >= self.cols,
+            words.len() * W::BITS >= self.cols,
             "{} words cannot hold {} columns",
             words.len(),
             self.cols
@@ -239,10 +275,10 @@ impl BitMatrix {
         let cols = self.cols;
         let row = self.row_words_mut(i);
         row.copy_from_slice(&words[..row.len()]);
-        let rem = cols % 64;
+        let rem = cols % W::BITS;
         if rem > 0 {
             if let Some(last) = row.last_mut() {
-                *last &= (1u64 << rem) - 1;
+                *last &= W::mask_low(rem);
             }
         }
     }
@@ -258,11 +294,13 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if `mask.len() != cols()`.
-    pub fn mask_columns(&self, mask: &[bool]) -> BitMatrix {
+    pub fn mask_columns(&self, mask: &[bool]) -> BitMatrix<W> {
         assert_eq!(mask.len(), self.cols, "mask length must equal cols");
-        let mut packed = vec![0u64; self.words_per_row];
+        let mut packed = vec![W::ZERO; self.words_per_row];
         for (j, &keep) in mask.iter().enumerate() {
-            packed[j / 64] |= u64::from(keep) << (j % 64);
+            if keep {
+                packed[j / W::BITS] |= W::bit(j % W::BITS);
+            }
         }
         let mut out = self.clone();
         for row in out.data.chunks_mut(self.words_per_row.max(1)) {
@@ -278,7 +316,7 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if the dimensions differ.
-    pub fn xor(&self, other: &BitMatrix) -> BitMatrix {
+    pub fn xor(&self, other: &BitMatrix<W>) -> BitMatrix<W> {
         assert_eq!(
             (self.rows, self.cols),
             (other.rows, other.cols),
@@ -291,17 +329,17 @@ impl BitMatrix {
         out
     }
 
-    /// The matrix product over `F₂`, dispatching to the Four-Russians kernel
-    /// for inner dimensions of [`FOUR_RUSSIANS_MIN_DIM`] and up and to the
-    /// plain word kernel below that, and — from [`PAR_MIN_ROWS`] output
-    /// rows — splitting the output rows across the
-    /// [`par::threads`] worker pool. Every path computes bit-identical
-    /// results.
+    /// The matrix product over `F₂`, dispatching to the (cache-blocked)
+    /// Four-Russians kernel for inner dimensions of
+    /// [`FOUR_RUSSIANS_MIN_DIM`] and up and to the plain word kernel below
+    /// that, and — from [`PAR_MIN_ROWS`] output rows — splitting the output
+    /// rows across the [`par::threads`] worker pool. Every path computes
+    /// bit-identical results.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn mul_f2(&self, rhs: &BitMatrix) -> BitMatrix {
+    pub fn mul_f2(&self, rhs: &BitMatrix<W>) -> BitMatrix<W> {
         self.mul_f2_with_threads(rhs, par::threads())
     }
 
@@ -311,7 +349,7 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn mul_f2_with_threads(&self, rhs: &BitMatrix, threads: usize) -> BitMatrix {
+    pub fn mul_f2_with_threads(&self, rhs: &BitMatrix<W>, threads: usize) -> BitMatrix<W> {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions differ: {} vs {}",
@@ -327,7 +365,7 @@ impl BitMatrix {
         par::for_each_chunk_mut(&mut out.data, w, workers, |start, chunk| {
             let row0 = start / w;
             if four_russians {
-                self.mul_f2_m4r_range(rhs, row0, chunk);
+                self.mul_f2_m4r_blocked_range(rhs, row0, chunk);
             } else {
                 self.mul_f2_word_range(rhs, row0, chunk);
             }
@@ -342,12 +380,12 @@ impl BitMatrix {
     }
 
     /// The word-level product: for every set bit `A[i][k]`, XOR row `k` of
-    /// `B` into output row `i` (64 columns per word operation).
+    /// `B` into output row `i` (`W::BITS` columns per word operation).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn mul_f2_word(&self, rhs: &BitMatrix) -> BitMatrix {
+    pub fn mul_f2_word(&self, rhs: &BitMatrix<W>) -> BitMatrix<W> {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions differ: {} vs {}",
@@ -363,16 +401,16 @@ impl BitMatrix {
     /// The word kernel restricted to output rows `row0..`, writing into the
     /// caller's (zeroed) chunk of `out.data` — the unit the threaded
     /// dispatcher hands to each worker.
-    fn mul_f2_word_range(&self, rhs: &BitMatrix, row0: usize, out_chunk: &mut [u64]) {
+    fn mul_f2_word_range(&self, rhs: &BitMatrix<W>, row0: usize, out_chunk: &mut [W]) {
         let w = rhs.words_per_row;
         for (r, out_row) in out_chunk.chunks_mut(w).enumerate() {
             let i = row0 + r;
             let a_row = &self.data[i * self.words_per_row..(i + 1) * self.words_per_row];
             for (wi, &word) in a_row.iter().enumerate() {
                 let mut bits = word;
-                while bits != 0 {
-                    let k = wi * 64 + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
+                while bits != W::ZERO {
+                    let k = wi * W::BITS + bits.trailing_zeros() as usize;
+                    bits = bits.clear_lowest_set_bit();
                     let b_row = &rhs.data[k * w..(k + 1) * w];
                     for (o, &b) in out_row.iter_mut().zip(b_row) {
                         *o ^= b;
@@ -385,12 +423,36 @@ impl BitMatrix {
     /// The Method-of-Four-Russians product: rows of `B` are processed in
     /// blocks of 8; per block all 256 XOR combinations are tabulated
     /// incrementally (one row XOR per entry), then every row of `A` consumes
-    /// 8 of its columns with a single table lookup.
+    /// 8 of its columns with a single table lookup. Blocks are grouped into
+    /// cache-sized tiles ([`M4R_TILE_BYTES`]) so each output row is loaded
+    /// and stored once per tile instead of once per block.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn mul_f2_four_russians(&self, rhs: &BitMatrix) -> BitMatrix {
+    pub fn mul_f2_four_russians(&self, rhs: &BitMatrix<W>) -> BitMatrix<W> {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions differ: {} vs {}",
+            self.cols, rhs.rows
+        );
+        let mut out = BitMatrix::zeros(self.rows, rhs.cols);
+        if self.rows == 0 || rhs.rows == 0 || rhs.words_per_row == 0 {
+            return out;
+        }
+        self.mul_f2_m4r_blocked_range(rhs, 0, &mut out.data);
+        out
+    }
+
+    /// The pre-tiling Four-Russians walk (one table at a time, streaming
+    /// the whole output matrix per block). Kept as the baseline the
+    /// `kernels` bench bin compares the blocked kernel against; results are
+    /// bit-identical to [`Self::mul_f2_four_russians`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_f2_four_russians_unblocked(&self, rhs: &BitMatrix<W>) -> BitMatrix<W> {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions differ: {} vs {}",
@@ -404,28 +466,37 @@ impl BitMatrix {
         out
     }
 
-    /// The Four-Russians kernel restricted to output rows `row0..`. Each
-    /// worker builds its own combination table (a few KiB), so workers
-    /// share nothing mutable.
-    fn mul_f2_m4r_range(&self, rhs: &BitMatrix, row0: usize, out_chunk: &mut [u64]) {
+    /// Builds the 256-entry XOR-combination table of the `M4R_BLOCK` rows
+    /// of `rhs` starting at row `base` into `table` (`256 * w` words).
+    /// Entries are built incrementally — `table[idx] = table[idx without
+    /// its lowest bit] ^ row(lowest bit)` — so every entry in
+    /// `1..1 << size` is overwritten by plain assignment, `table[0]` is
+    /// never written, and no reset between calls is needed (lookups are
+    /// masked to `size` bits).
+    fn m4r_build_table(rhs: &BitMatrix<W>, base: usize, size: usize, table: &mut [W]) {
+        let w = rhs.words_per_row;
+        for idx in 1usize..1 << size {
+            let low = idx.trailing_zeros() as usize;
+            let rest = idx & (idx - 1);
+            let b_row = (base + low) * w;
+            for wi in 0..w {
+                table[idx * w + wi] = table[rest * w + wi] ^ rhs.data[b_row + wi];
+            }
+        }
+    }
+
+    /// The unblocked Four-Russians kernel restricted to output rows
+    /// `row0..`: one table at a time, every output row touched per block.
+    fn mul_f2_m4r_range(&self, rhs: &BitMatrix<W>, row0: usize, out_chunk: &mut [W]) {
         let w = rhs.words_per_row;
         let chunk_rows = out_chunk.len() / w;
-        let mut table = vec![0u64; (1 << M4R_BLOCK) * w];
+        let mut table = vec![W::ZERO; (1 << M4R_BLOCK) * w];
         for block in 0..rhs.rows.div_ceil(M4R_BLOCK) {
             let base = block * M4R_BLOCK;
             let size = M4R_BLOCK.min(rhs.rows - base);
-            // table[idx] = XOR of the rows of B selected by the bits of idx;
-            // built incrementally: idx = rest | lowest bit, one XOR each.
-            for idx in 1usize..1 << size {
-                let low = idx.trailing_zeros() as usize;
-                let rest = idx & (idx - 1);
-                let b_row = (base + low) * w;
-                for wi in 0..w {
-                    table[idx * w + wi] = table[rest * w + wi] ^ rhs.data[b_row + wi];
-                }
-            }
+            Self::m4r_build_table(rhs, base, size, &mut table);
             for r in 0..chunk_rows {
-                let idx = self.extract_row_bits(row0 + r, base, size) as usize;
+                let idx = self.extract_row_bits(row0 + r, base, size);
                 if idx != 0 {
                     let out_row = &mut out_chunk[r * w..(r + 1) * w];
                     for (o, &t) in out_row.iter_mut().zip(&table[idx * w..(idx + 1) * w]) {
@@ -433,22 +504,80 @@ impl BitMatrix {
                     }
                 }
             }
-            // No table reset between blocks: the build loop overwrites every
-            // entry in 1..1<<size by plain assignment, table[0] is never
-            // written, and lookups are masked to `size` bits.
+        }
+    }
+
+    /// The cache-blocked Four-Russians kernel restricted to output rows
+    /// `row0..` — the unit the threaded dispatcher hands to each worker
+    /// (each worker builds its own tile of tables, so workers share nothing
+    /// mutable). Blocks are grouped into tiles of [`M4R_TILE_BYTES`] of
+    /// tables; per tile, every output row of the chunk is loaded once,
+    /// combined with one lookup per block in the tile, and stored once.
+    fn mul_f2_m4r_blocked_range(&self, rhs: &BitMatrix<W>, row0: usize, out_chunk: &mut [W]) {
+        let tile = m4r_tile_blocks(rhs.words_per_row, W::BYTES);
+        self.mul_f2_m4r_tiled_range(rhs, row0, out_chunk, tile);
+    }
+
+    /// [`Self::mul_f2_m4r_blocked_range`] with an explicit tile size in
+    /// blocks (the tuning axis behind [`M4R_TILE_BYTES`]).
+    fn mul_f2_m4r_tiled_range(
+        &self,
+        rhs: &BitMatrix<W>,
+        row0: usize,
+        out_chunk: &mut [W],
+        tile: usize,
+    ) {
+        let w = rhs.words_per_row;
+        let chunk_rows = out_chunk.len() / w;
+        let table_words = (1usize << M4R_BLOCK) * w;
+        let blocks = rhs.rows.div_ceil(M4R_BLOCK);
+        let tile = tile.clamp(1, blocks);
+        // Output rows are swept in chunks sized to stay L1-resident across
+        // every table of the tile, so each table pass is a tight sequential
+        // sweep (the same inner-loop shape as the unblocked kernel) while
+        // the output chunk is loaded from cache, not memory, per table.
+        let row_tile = (M4R_ROW_TILE_BYTES / (w * W::BYTES).max(1)).max(1);
+        let mut tables = vec![W::ZERO; tile * table_words];
+        let mut b0 = 0usize;
+        while b0 < blocks {
+            let in_tile = tile.min(blocks - b0);
+            for (t, table) in tables.chunks_mut(table_words).take(in_tile).enumerate() {
+                let base = (b0 + t) * M4R_BLOCK;
+                let size = M4R_BLOCK.min(rhs.rows - base);
+                Self::m4r_build_table(rhs, base, size, table);
+            }
+            let mut r0 = 0usize;
+            while r0 < chunk_rows {
+                let rows_here = row_tile.min(chunk_rows - r0);
+                for (t, table) in tables.chunks_exact(table_words).take(in_tile).enumerate() {
+                    let base = (b0 + t) * M4R_BLOCK;
+                    let size = M4R_BLOCK.min(rhs.rows - base);
+                    for r in r0..r0 + rows_here {
+                        let idx = self.extract_row_bits(row0 + r, base, size);
+                        if idx != 0 {
+                            let out_row = &mut out_chunk[r * w..(r + 1) * w];
+                            for (o, &v) in out_row.iter_mut().zip(&table[idx * w..idx * w + w]) {
+                                *o ^= v;
+                            }
+                        }
+                    }
+                }
+                r0 += rows_here;
+            }
+            b0 += in_tile;
         }
     }
 
     /// The transposed matrix.
-    pub fn transpose(&self) -> BitMatrix {
+    pub fn transpose(&self) -> BitMatrix<W> {
         let mut out = BitMatrix::zeros(self.cols, self.rows);
         for i in 0..self.rows {
             for (wi, &word) in self.row_words(i).iter().enumerate() {
                 let mut bits = word;
-                while bits != 0 {
-                    let j = wi * 64 + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    out.data[j * out.words_per_row + i / 64] |= 1u64 << (i % 64);
+                while bits != W::ZERO {
+                    let j = wi * W::BITS + bits.trailing_zeros() as usize;
+                    bits = bits.clear_lowest_set_bit();
+                    out.data[j * out.words_per_row + i / W::BITS] |= W::bit(i % W::BITS);
                 }
             }
         }
@@ -456,12 +585,12 @@ impl BitMatrix {
     }
 
     /// The `rows × cols` block starting at `(row0, col0)`, extracted with
-    /// word shifts (64 columns per operation).
+    /// word shifts (`W::BITS` columns per operation).
     ///
     /// # Panics
     ///
     /// Panics if the block reaches past the matrix.
-    pub fn submatrix(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> BitMatrix {
+    pub fn submatrix(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> BitMatrix<W> {
         assert!(
             row0 + rows <= self.rows && col0 + cols <= self.cols,
             "block {rows}×{cols} at ({row0},{col0}) exceeds {}×{}",
@@ -472,24 +601,24 @@ impl BitMatrix {
         if cols == 0 {
             return out;
         }
-        let word_off = col0 / 64;
-        let bit_off = col0 % 64;
+        let word_off = col0 / W::BITS;
+        let bit_off = col0 % W::BITS;
         for i in 0..rows {
             let src = self.row_words(row0 + i);
             let dst = &mut out.data[i * out.words_per_row..(i + 1) * out.words_per_row];
             for (wi, d) in dst.iter_mut().enumerate() {
-                let lo = src.get(word_off + wi).copied().unwrap_or(0) >> bit_off;
+                let lo = src.get(word_off + wi).copied().unwrap_or(W::ZERO) >> bit_off;
                 let hi = if bit_off > 0 {
-                    src.get(word_off + wi + 1).copied().unwrap_or(0) << (64 - bit_off)
+                    src.get(word_off + wi + 1).copied().unwrap_or(W::ZERO) << (W::BITS - bit_off)
                 } else {
-                    0
+                    W::ZERO
                 };
                 *d = lo | hi;
             }
-            let rem = cols % 64;
+            let rem = cols % W::BITS;
             if rem > 0 {
                 if let Some(last) = dst.last_mut() {
-                    *last &= (1u64 << rem) - 1;
+                    *last &= W::mask_low(rem);
                 }
             }
         }
@@ -497,15 +626,15 @@ impl BitMatrix {
     }
 
     /// The matrix product over the Boolean semiring `(∨, ∧)`: for every set
-    /// bit `A[i][k]`, OR row `k` of `B` into output row `i` (64 columns per
-    /// word operation). From [`PAR_MIN_ROWS`] output rows the rows are
-    /// split across the [`par::threads`] worker pool; results are identical
-    /// at every worker count.
+    /// bit `A[i][k]`, OR row `k` of `B` into output row `i` (`W::BITS`
+    /// columns per word operation). From [`PAR_MIN_ROWS`] output rows the
+    /// rows are split across the [`par::threads`] worker pool; results are
+    /// identical at every worker count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn mul_bool(&self, rhs: &BitMatrix) -> BitMatrix {
+    pub fn mul_bool(&self, rhs: &BitMatrix<W>) -> BitMatrix<W> {
         self.mul_bool_with_threads(rhs, par::threads())
     }
 
@@ -515,7 +644,7 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn mul_bool_with_threads(&self, rhs: &BitMatrix, threads: usize) -> BitMatrix {
+    pub fn mul_bool_with_threads(&self, rhs: &BitMatrix<W>, threads: usize) -> BitMatrix<W> {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions differ: {} vs {}",
@@ -534,16 +663,16 @@ impl BitMatrix {
     }
 
     /// The Boolean-semiring kernel restricted to output rows `row0..`.
-    fn mul_bool_range(&self, rhs: &BitMatrix, row0: usize, out_chunk: &mut [u64]) {
+    fn mul_bool_range(&self, rhs: &BitMatrix<W>, row0: usize, out_chunk: &mut [W]) {
         let w = rhs.words_per_row;
         for (r, out_row) in out_chunk.chunks_mut(w).enumerate() {
             let i = row0 + r;
             let a_row = &self.data[i * self.words_per_row..(i + 1) * self.words_per_row];
             for (wi, &word) in a_row.iter().enumerate() {
                 let mut bits = word;
-                while bits != 0 {
-                    let k = wi * 64 + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
+                while bits != W::ZERO {
+                    let k = wi * W::BITS + bits.trailing_zeros() as usize;
+                    bits = bits.clear_lowest_set_bit();
                     let b_row = &rhs.data[k * w..(k + 1) * w];
                     for (o, &b) in out_row.iter_mut().zip(b_row) {
                         *o |= b;
@@ -555,13 +684,13 @@ impl BitMatrix {
 
     /// The matrix product over the counting semiring `(+, ×)` of two 0/1
     /// matrices: `C[i][j] = |{k : A[i][k] ∧ B[k][j]}|`, computed as the
-    /// popcount of `row_i(A) ∧ row_j(Bᵀ)` — 64 multiply-adds per AND+popcount
-    /// pair.
+    /// popcount of `row_i(A) ∧ row_j(Bᵀ)` — `W::BITS` multiply-adds per
+    /// AND+popcount pair.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn popcount_product(&self, rhs: &BitMatrix) -> IntMatrix {
+    pub fn popcount_product(&self, rhs: &BitMatrix<W>) -> IntMatrix {
         self.popcount_product_with_threads(rhs, par::threads())
     }
 
@@ -572,7 +701,7 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn popcount_product_with_threads(&self, rhs: &BitMatrix, threads: usize) -> IntMatrix {
+    pub fn popcount_product_with_threads(&self, rhs: &BitMatrix<W>, threads: usize) -> IntMatrix {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions differ: {} vs {}",
@@ -604,20 +733,20 @@ impl BitMatrix {
 
     /// Extracts `len ≤ 8` bits of row `i` starting at column `start`
     /// (straddling at most two words).
-    fn extract_row_bits(&self, i: usize, start: usize, len: usize) -> u64 {
+    fn extract_row_bits(&self, i: usize, start: usize, len: usize) -> usize {
         debug_assert!(len <= M4R_BLOCK && start + len <= self.cols);
         let row = i * self.words_per_row;
-        let word_idx = start / 64;
-        let bit_idx = start % 64;
+        let word_idx = start / W::BITS;
+        let bit_idx = start % W::BITS;
         let mut value = self.data[row + word_idx] >> bit_idx;
-        if bit_idx + len > 64 {
-            value |= self.data[row + word_idx + 1] << (64 - bit_idx);
+        if bit_idx + len > W::BITS {
+            value |= self.data[row + word_idx + 1] << (W::BITS - bit_idx);
         }
-        value & ((1u64 << len) - 1)
+        (value.low_u64() & ((1u64 << len) - 1)) as usize
     }
 }
 
-impl fmt::Debug for BitMatrix {
+impl<W: Word> fmt::Debug for BitMatrix<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -629,7 +758,7 @@ impl fmt::Debug for BitMatrix {
     }
 }
 
-impl fmt::Display for BitMatrix {
+impl<W: Word> fmt::Display for BitMatrix<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in 0..self.rows {
             for j in 0..self.cols {
@@ -644,6 +773,10 @@ impl fmt::Display for BitMatrix {
 /// A dense matrix of small non-negative integers (row-major `u64` entries),
 /// the operand type of the counting and `(min, +)` semirings used by the
 /// algebraic clique protocols.
+///
+/// Entries are integer *values*, not lanes, so [`IntMatrix`] is not generic
+/// over [`Word`]; its packed conversions go through the default-lane
+/// [`BitMatrix`].
 ///
 /// [`IntMatrix::INFINITY`] (`u64::MAX`) is the reserved "no path" value of
 /// the `(min, +)` semiring; all arithmetic saturates below it, so finite
@@ -824,7 +957,10 @@ impl IntMatrix {
             let row = self.row(i);
             let words = m.row_words_mut(i);
             for (j, &v) in row.iter().enumerate() {
-                words[j / 64] |= v << (j % 64);
+                if v == 1 {
+                    words[j / <DefaultLane as Word>::BITS] |=
+                        DefaultLane::bit(j % <DefaultLane as Word>::BITS);
+                }
             }
         }
         m
@@ -836,9 +972,9 @@ impl IntMatrix {
         for i in 0..m.rows() {
             for (wi, &word) in m.row_words(i).iter().enumerate() {
                 let mut bits = word;
-                while bits != 0 {
-                    let j = wi * 64 + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
+                while bits != DefaultLane::ZERO {
+                    let j = wi * <DefaultLane as Word>::BITS + bits.trailing_zeros() as usize;
+                    bits = bits.clear_lowest_set_bit();
                     out.data[i * out.cols + j] = 1;
                 }
             }
@@ -979,8 +1115,53 @@ impl fmt::Debug for IntMatrix {
 mod tests {
     use super::*;
 
+    /// Perf probe behind `--ignored`: times the tiled Four-Russians walk at
+    /// several tile sizes so [`M4R_TILE_BYTES`] can be re-tuned per host.
+    #[test]
+    #[ignore = "perf probe; run with --ignored --nocapture on a quiet host"]
+    fn probe_tile_sizes() {
+        for d in [512usize, 1024, 2048] {
+            let a = pseudo_random::<u64>(d, d, 0xA5);
+            let b = pseudo_random::<u64>(d, d, 0x5A);
+            let w = b.words_per_row;
+            let mut out = vec![0u64; d * w];
+            let reps = (64 * 1024 * 1024 / (d * d / 8)).clamp(3, 50);
+            // Interleave the contenders across many short passes so slow
+            // drift on a noisy host biases every variant equally.
+            let variants: &[Option<usize>] = &[None, Some(1), Some(2), Some(4), Some(8), Some(16)];
+            let mut totals = vec![0f64; variants.len()];
+            for _ in 0..reps {
+                for (v, variant) in variants.iter().enumerate() {
+                    out.iter_mut().for_each(|o| *o = 0);
+                    let start = std::time::Instant::now();
+                    match variant {
+                        None => a.mul_f2_m4r_range(&b, 0, &mut out),
+                        Some(tile) => a.mul_f2_m4r_tiled_range(&b, 0, &mut out, *tile),
+                    }
+                    totals[v] += start.elapsed().as_nanos() as f64;
+                    std::hint::black_box(&out);
+                }
+            }
+            for (v, variant) in variants.iter().enumerate() {
+                let label = match variant {
+                    None => "unblocked".to_owned(),
+                    Some(tile) => {
+                        format!(
+                            "tile={tile} ({} KiB)",
+                            tile * (1 << M4R_BLOCK) * w * 8 / 1024
+                        )
+                    }
+                };
+                println!(
+                    "d={d} {label}: {:.0} ns",
+                    totals[v] / f64::from(reps as u32)
+                );
+            }
+        }
+    }
+
     /// The bool-at-a-time product the packed kernels must agree with.
-    fn scalar_product(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+    fn scalar_product<W: Word>(a: &BitMatrix<W>, b: &BitMatrix<W>) -> BitMatrix<W> {
         let mut out = BitMatrix::zeros(a.rows(), b.cols());
         for i in 0..a.rows() {
             for j in 0..b.cols() {
@@ -994,7 +1175,7 @@ mod tests {
         out
     }
 
-    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+    fn pseudo_random<W: Word>(rows: usize, cols: usize, seed: u64) -> BitMatrix<W> {
         let mut m = BitMatrix::zeros(rows, cols);
         let mut state = seed | 1;
         for i in 0..rows {
@@ -1015,7 +1196,7 @@ mod tests {
             vec![false, false, false],
             vec![true, true, true],
         ];
-        let m = BitMatrix::from_rows(&rows);
+        let m = BitMatrix::<DefaultLane>::from_rows(&rows);
         assert_eq!(m.to_rows(), rows);
         assert_eq!((m.rows(), m.cols()), (3, 3));
         assert_eq!(m.count_ones(), 5);
@@ -1026,7 +1207,7 @@ mod tests {
 
     #[test]
     fn set_and_get_across_word_boundaries() {
-        let mut m = BitMatrix::zeros(2, 130);
+        let mut m = BitMatrix::<DefaultLane>::zeros(2, 130);
         m.set(0, 0, true);
         m.set(0, 63, true);
         m.set(0, 64, true);
@@ -1038,8 +1219,7 @@ mod tests {
         assert_eq!(m.count_ones(), 3);
     }
 
-    #[test]
-    fn both_kernels_match_the_scalar_product() {
+    fn kernels_match_scalar_for<W: Word>() {
         for (ra, c, cb, seed) in [
             (1usize, 1usize, 1usize, 1u64),
             (3, 5, 4, 2),
@@ -1047,8 +1227,8 @@ mod tests {
             (8, 65, 70, 4),
             (20, 130, 20, 5),
         ] {
-            let a = pseudo_random(ra, c, seed);
-            let b = pseudo_random(c, cb, seed + 100);
+            let a = pseudo_random::<W>(ra, c, seed);
+            let b = pseudo_random::<W>(c, cb, seed + 100);
             let expected = scalar_product(&a, &b);
             assert_eq!(a.mul_f2_word(&b), expected, "word kernel {ra}x{c}x{cb}");
             assert_eq!(
@@ -1056,29 +1236,58 @@ mod tests {
                 expected,
                 "four russians {ra}x{c}x{cb}"
             );
+            assert_eq!(
+                a.mul_f2_four_russians_unblocked(&b),
+                expected,
+                "unblocked four russians {ra}x{c}x{cb}"
+            );
             assert_eq!(a.mul_f2(&b), expected, "dispatch {ra}x{c}x{cb}");
         }
     }
 
     #[test]
+    fn both_kernels_match_the_scalar_product() {
+        kernels_match_scalar_for::<u64>();
+        kernels_match_scalar_for::<u128>();
+    }
+
+    #[test]
+    fn blocked_four_russians_matches_unblocked_above_threshold() {
+        // Above FOUR_RUSSIANS_MIN_DIM several tiles are in play; rectangular
+        // shapes exercise partial last blocks and partial last tiles.
+        for (ra, c, cb, seed) in [
+            (FOUR_RUSSIANS_MIN_DIM, FOUR_RUSSIANS_MIN_DIM, 60usize, 71u64),
+            (40, 300, 333, 72),
+        ] {
+            let a = pseudo_random::<u64>(ra, c, seed);
+            let b = pseudo_random::<u64>(c, cb, seed + 100);
+            assert_eq!(
+                a.mul_f2_four_russians(&b),
+                a.mul_f2_four_russians_unblocked(&b),
+                "{ra}x{c}x{cb}"
+            );
+        }
+    }
+
+    #[test]
     fn dispatch_threshold_selects_the_expected_kernel() {
-        assert!(!BitMatrix::dispatches_to_four_russians(0));
-        assert!(!BitMatrix::dispatches_to_four_russians(
+        assert!(!BitMatrix::<u64>::dispatches_to_four_russians(0));
+        assert!(!BitMatrix::<u64>::dispatches_to_four_russians(
             FOUR_RUSSIANS_MIN_DIM - 1
         ));
-        assert!(BitMatrix::dispatches_to_four_russians(
+        assert!(BitMatrix::<u64>::dispatches_to_four_russians(
             FOUR_RUSSIANS_MIN_DIM
         ));
         // And the routed kernel agrees with the other path at the threshold.
         let d = FOUR_RUSSIANS_MIN_DIM;
-        let a = pseudo_random(4, d, 7);
+        let a = pseudo_random::<DefaultLane>(4, d, 7);
         let b = pseudo_random(d, 4, 8);
         assert_eq!(a.mul_f2(&b), a.mul_f2_word(&b));
     }
 
     #[test]
     fn identity_is_neutral() {
-        let m = pseudo_random(9, 9, 11);
+        let m = pseudo_random::<DefaultLane>(9, 9, 11);
         let id = BitMatrix::identity(9);
         assert_eq!(m.mul_f2(&id), m);
         assert_eq!(id.mul_f2(&m), m);
@@ -1086,7 +1295,7 @@ mod tests {
 
     #[test]
     fn mask_columns_zeroes_unselected_columns() {
-        let m = pseudo_random(5, 70, 13);
+        let m = pseudo_random::<DefaultLane>(5, 70, 13);
         let mask: Vec<bool> = (0..70).map(|j| j % 3 != 0).collect();
         let masked = m.mask_columns(&mask);
         for i in 0..5 {
@@ -1098,7 +1307,7 @@ mod tests {
 
     #[test]
     fn xor_is_elementwise() {
-        let a = pseudo_random(4, 66, 17);
+        let a = pseudo_random::<DefaultLane>(4, 66, 17);
         let b = pseudo_random(4, 66, 19);
         let c = a.xor(&b);
         for i in 0..4 {
@@ -1109,20 +1318,31 @@ mod tests {
         assert!(a.xor(&a).count_ones() == 0);
     }
 
+    fn set_row_words_masks_padding_for<W: Word>() {
+        let mut m = BitMatrix::<W>::zeros(2, 70);
+        let words = vec![W::ONES; 70usize.div_ceil(W::BITS)];
+        m.set_row_words(1, &words);
+        assert_eq!(m.count_ones(), 70);
+        let rem = 70 % W::BITS;
+        assert_eq!(
+            *m.row_words(1).last().unwrap() & !W::mask_low(rem),
+            W::ZERO,
+            "padding bits must stay zero"
+        );
+    }
+
     #[test]
     fn set_row_words_masks_padding() {
-        let mut m = BitMatrix::zeros(2, 70);
-        m.set_row_words(1, &[u64::MAX, u64::MAX]);
-        assert_eq!(m.count_ones(), 70);
-        assert_eq!(m.row_words(1)[1] >> 6, 0, "padding bits must stay zero");
+        set_row_words_masks_padding_for::<u64>();
+        set_row_words_masks_padding_for::<u128>();
     }
 
     #[test]
     fn empty_matrices_multiply() {
-        let a = BitMatrix::zeros(0, 5);
+        let a = BitMatrix::<DefaultLane>::zeros(0, 5);
         let b = BitMatrix::zeros(5, 3);
         assert_eq!(a.mul_f2(&b).rows(), 0);
-        let a = BitMatrix::zeros(3, 0);
+        let a = BitMatrix::<DefaultLane>::zeros(3, 0);
         let b = BitMatrix::zeros(0, 4);
         let c = a.mul_f2(&b);
         assert_eq!((c.rows(), c.cols()), (3, 4));
@@ -1132,21 +1352,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "inner dimensions differ")]
     fn mismatched_inner_dimensions_panic() {
-        let a = BitMatrix::zeros(2, 3);
+        let a = BitMatrix::<DefaultLane>::zeros(2, 3);
         let b = BitMatrix::zeros(4, 2);
         let _ = a.mul_f2(&b);
     }
 
     #[test]
     fn debug_and_display_are_informative() {
-        let m = BitMatrix::identity(2);
+        let m = BitMatrix::<DefaultLane>::identity(2);
         assert_eq!(format!("{m:?}"), "BitMatrix(2×2, 2 ones)");
         assert_eq!(m.to_string(), "10\n01\n");
     }
 
     #[test]
     fn transpose_round_trips_and_flips_entries() {
-        let m = pseudo_random(7, 130, 23);
+        let m = pseudo_random::<DefaultLane>(7, 130, 23);
         let t = m.transpose();
         assert_eq!((t.rows(), t.cols()), (130, 7));
         for i in 0..7 {
@@ -1157,9 +1377,8 @@ mod tests {
         assert_eq!(t.transpose(), m);
     }
 
-    #[test]
-    fn submatrix_extracts_blocks_across_word_boundaries() {
-        let m = pseudo_random(10, 200, 29);
+    fn submatrix_blocks_for<W: Word>() {
+        let m = pseudo_random::<W>(10, 200, 29);
         for (r0, c0, rows, cols) in [
             (0, 0, 10, 200),
             (3, 60, 4, 70),
@@ -1174,19 +1393,25 @@ mod tests {
                 }
             }
             // The BitMatrix invariant: no bits past `cols`.
-            let rem = cols % 64;
+            let rem = cols % W::BITS;
             if rem > 0 {
                 for i in 0..rows {
-                    assert_eq!(s.row_words(i).last().unwrap() >> rem, 0);
+                    assert_eq!(*s.row_words(i).last().unwrap() & !W::mask_low(rem), W::ZERO);
                 }
             }
         }
     }
 
     #[test]
+    fn submatrix_extracts_blocks_across_word_boundaries() {
+        submatrix_blocks_for::<u64>();
+        submatrix_blocks_for::<u128>();
+    }
+
+    #[test]
     #[should_panic(expected = "exceeds")]
     fn submatrix_rejects_out_of_range_blocks() {
-        let _ = BitMatrix::zeros(3, 3).submatrix(1, 1, 3, 2);
+        let _ = BitMatrix::<DefaultLane>::zeros(3, 3).submatrix(1, 1, 3, 2);
     }
 
     #[test]
@@ -1196,7 +1421,7 @@ mod tests {
             (5, 70, 6, 32),
             (9, 130, 9, 33),
         ] {
-            let a = pseudo_random(ra, c, seed);
+            let a = pseudo_random::<DefaultLane>(ra, c, seed);
             let b = pseudo_random(c, cb, seed + 50);
             let got = a.mul_bool(&b);
             for i in 0..ra {
@@ -1215,7 +1440,7 @@ mod tests {
             (6, 65, 7, 42),
             (8, 128, 8, 43),
         ] {
-            let a = pseudo_random(ra, c, seed);
+            let a = pseudo_random::<DefaultLane>(ra, c, seed);
             let b = pseudo_random(c, cb, seed + 50);
             let got = a.popcount_product(&b);
             for i in 0..ra {
@@ -1224,6 +1449,44 @@ mod tests {
                     assert_eq!(got.get(i, j), expected, "({i},{j})");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn lane_widths_agree_on_every_kernel() {
+        // The lanes-never-change-results invariant at the kernel level: the
+        // same logical matrices multiplied at u64 and u128 lanes.
+        for (ra, c, cb, seed) in [(9usize, 70usize, 13usize, 97u64), (20, 300, 20, 98)] {
+            let a64 = pseudo_random::<u64>(ra, c, seed);
+            let b64 = pseudo_random::<u64>(c, cb, seed + 1);
+            let a128 = pseudo_random::<u128>(ra, c, seed);
+            let b128 = pseudo_random::<u128>(c, cb, seed + 1);
+            assert_eq!(a64.to_rows(), a128.to_rows(), "inputs must agree");
+            assert_eq!(
+                a64.mul_f2(&b64).to_rows(),
+                a128.mul_f2(&b128).to_rows(),
+                "mul_f2 {ra}x{c}x{cb}"
+            );
+            assert_eq!(
+                a64.mul_bool(&b64).to_rows(),
+                a128.mul_bool(&b128).to_rows(),
+                "mul_bool {ra}x{c}x{cb}"
+            );
+            assert_eq!(
+                a64.popcount_product(&b64),
+                a128.popcount_product(&b128),
+                "popcount {ra}x{c}x{cb}"
+            );
+            assert_eq!(
+                a64.transpose().to_rows(),
+                a128.transpose().to_rows(),
+                "transpose"
+            );
+            assert_eq!(
+                a64.submatrix(1, 3, 5, 60).to_rows(),
+                a128.submatrix(1, 3, 5, 60).to_rows(),
+                "submatrix"
+            );
         }
     }
 
@@ -1320,7 +1583,7 @@ mod tests {
         // Above the PAR_MIN_ROWS seam and (for the dispatcher) on both
         // sides of the Four-Russians threshold.
         for d in [PAR_MIN_ROWS + 5, FOUR_RUSSIANS_MIN_DIM] {
-            let a = pseudo_random(d, d, 81);
+            let a = pseudo_random::<DefaultLane>(d, d, 81);
             let b = pseudo_random(d, d, 82);
             let f2 = a.mul_f2_with_threads(&b, 1);
             let or = a.mul_bool_with_threads(&b, 1);

@@ -234,14 +234,14 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// payload bit-length plus a 64-bit FNV-1a checksum.
 pub const FRAME_HEADER_BITS: usize = 96;
 
-/// FNV-1a over the payload's packed words (zero-padded past `len`, so the
-/// digest is canonical) plus its bit length.
+/// FNV-1a over the payload's canonical little-endian byte serialisation
+/// ([`BitString::to_le_bytes`] — `ceil(len / 8)` bytes, zero-padded past
+/// `len`) plus its bit length. Hashing the canonical bytes, not the packed
+/// backing words, keeps the digest independent of the lane width.
 fn payload_checksum(payload: &BitString) -> u64 {
     let mut hash = FNV_OFFSET;
-    for &word in payload.words() {
-        for byte in word.to_le_bytes() {
-            hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
-        }
+    for byte in payload.to_le_bytes() {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
     }
     for byte in (payload.len() as u64).to_le_bytes() {
         hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
@@ -429,9 +429,9 @@ fn apply_fault(framed: &BitString, kind: FaultKind, aux: u64) -> BitString {
 }
 
 fn flip_bit(bits: &BitString, position: usize) -> BitString {
-    let mut words = bits.words().to_vec();
-    words[position / 64] ^= 1u64 << (position % 64);
-    BitString::from_words(&words, bits.len())
+    let mut flipped = bits.clone();
+    flipped.toggle_bit(position);
+    flipped
 }
 
 /// A chaos-testing wrapper: screens every message of the inner transport

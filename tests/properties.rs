@@ -44,13 +44,13 @@ fn seeded_weighted_graph(n: usize, p: f64, max_weight: u64, seed: u64) -> Weight
 /// Asserts the packed-kernel invariant: no bits at or past column `cols` in
 /// the last word of any row.
 fn assert_no_padding_bits(m: &BitMatrix) {
-    let rem = m.cols() % 64;
+    let rem = m.cols() % <DefaultLane as Word>::BITS;
     if rem == 0 {
         return;
     }
     for i in 0..m.rows() {
         let last = *m.row_words(i).last().expect("cols > 0 implies a word");
-        assert_eq!(last >> rem, 0, "row {i} has bits past cols");
+        assert_eq!(last >> rem, DefaultLane::ZERO, "row {i} has bits past cols");
     }
 }
 
@@ -59,7 +59,7 @@ proptest! {
 
     #[test]
     fn bitstring_round_trips(values in prop::collection::vec((0u64..1 << 20, 1usize..21), 0..20)) {
-        let mut bits = BitString::new();
+        let mut bits: BitString = BitString::new();
         for &(v, w) in &values {
             bits.push_bits(v & ((1 << w) - 1), w);
         }
@@ -73,8 +73,8 @@ proptest! {
     #[test]
     fn bitstring_word_and_bool_paths_agree(bools in prop::collection::vec(any::<bool>(), 0..200), prefix in 0usize..70) {
         // from_bools (word-packing) == per-bit pushes; to_bools inverts it.
-        let packed = BitString::from_bools(&bools);
-        let mut per_bit = BitString::new();
+        let packed: BitString = BitString::from_bools(&bools);
+        let mut per_bit: BitString = BitString::new();
         for &b in &bools {
             per_bit.push_bit(b);
         }
@@ -106,8 +106,8 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let a_rows: Vec<Vec<bool>> = (0..ra).map(|_| (0..c).map(|_| rng.gen_bool(0.5)).collect()).collect();
         let b_rows: Vec<Vec<bool>> = (0..c).map(|_| (0..cb).map(|_| rng.gen_bool(0.5)).collect()).collect();
-        let a = BitMatrix::from_rows(&a_rows);
-        let b = BitMatrix::from_rows(&b_rows);
+        let a: BitMatrix = BitMatrix::from_rows(&a_rows);
+        let b: BitMatrix = BitMatrix::from_rows(&b_rows);
 
         // Scalar oracle (square-only helper is bypassed for rectangles).
         let mut expected = BitMatrix::zeros(ra, cb);
@@ -123,6 +123,83 @@ proptest! {
         prop_assert_eq!(a.mul_f2_word(&b), expected.clone(), "word kernel");
         prop_assert_eq!(a.mul_f2_four_russians(&b), expected.clone(), "four-russians kernel");
         prop_assert_eq!(a.mul_f2(&b), expected, "dispatching kernel");
+    }
+
+    #[test]
+    fn matmul_kernels_agree_across_lane_widths(
+        ra in 1usize..20,
+        c in 1usize..200,
+        cb in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        // The lane-width invariant on every matmul path: u64 and u128
+        // matrices built from the same rows multiply to the same rows.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a_rows: Vec<Vec<bool>> = (0..ra).map(|_| (0..c).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        let b_rows: Vec<Vec<bool>> = (0..c).map(|_| (0..cb).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        let a64 = BitMatrix::<u64>::from_rows(&a_rows);
+        let b64 = BitMatrix::<u64>::from_rows(&b_rows);
+        let a128 = BitMatrix::<u128>::from_rows(&a_rows);
+        let b128 = BitMatrix::<u128>::from_rows(&b_rows);
+        prop_assert_eq!(a64.mul_f2(&b64).to_rows(), a128.mul_f2(&b128).to_rows(), "dispatch");
+        prop_assert_eq!(a64.mul_f2_word(&b64).to_rows(), a128.mul_f2_word(&b128).to_rows(), "word kernel");
+        prop_assert_eq!(
+            a64.mul_f2_four_russians(&b64).to_rows(),
+            a128.mul_f2_four_russians(&b128).to_rows(),
+            "four-russians"
+        );
+        prop_assert_eq!(a64.mul_bool(&b64).to_rows(), a128.mul_bool(&b128).to_rows(), "boolean");
+    }
+
+    #[test]
+    fn bitstring_encoding_is_lane_width_independent(
+        values in prop::collection::vec((any::<u64>(), 1usize..65), 0..30),
+    ) {
+        // The same logical pushes produce the same canonical bytes, bools
+        // and reads at both lane widths.
+        let mut s64: BitString<u64> = BitString::new();
+        let mut s128: BitString<u128> = BitString::new();
+        for &(v, w) in &values {
+            let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            s64.push_bits(masked, w);
+            s128.push_bits(masked, w);
+        }
+        prop_assert_eq!(s64.len(), s128.len());
+        prop_assert_eq!(s64.to_le_bytes(), s128.to_le_bytes());
+        prop_assert_eq!(s64.to_bools(), s128.to_bools());
+        let mut r64 = s64.reader();
+        let mut r128 = s128.reader();
+        for &(v, w) in &values {
+            let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            prop_assert_eq!(r64.read_bits(w), Some(masked));
+            prop_assert_eq!(r128.read_bits(w), Some(masked));
+        }
+        prop_assert!(r64.is_exhausted() && r128.is_exhausted());
+    }
+
+    #[test]
+    fn evaluate_batch_agrees_across_lane_widths(
+        inputs in 2usize..30,
+        batch in 1usize..140,
+        seed in 0u64..1000,
+    ) {
+        // `evaluate_batch_lanes` pins the lane word explicitly: 64- and
+        // 128-lane passes return identical outputs, both equal to the
+        // default-width `evaluate_batch`.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let circuits: Vec<Circuit> = vec![
+            builders::parity_tree(inputs, 3),
+            builders::majority(inputs),
+        ];
+        for circuit in &circuits {
+            let assignments: Vec<Vec<bool>> = (0..batch)
+                .map(|_| (0..circuit.inputs().len()).map(|_| rng.gen_bool(0.5)).collect())
+                .collect();
+            let w64 = circuit.evaluate_batch_lanes::<u64>(&assignments);
+            let w128 = circuit.evaluate_batch_lanes::<u128>(&assignments);
+            prop_assert_eq!(&w64, &w128);
+            prop_assert_eq!(&w64, &circuit.evaluate_batch(&assignments));
+        }
     }
 
     #[test]
