@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E17) of EXPERIMENTS.md.
+//! Regenerates every experiment table (E1–E18) of EXPERIMENTS.md.
 //!
 //! Usage:
 //!

@@ -135,6 +135,57 @@ fn bench_matmul<W: Word>(
     }
 }
 
+struct StrassenRow {
+    d: usize,
+    lane: usize,
+    four_russians_ns: f64,
+    strassen_ns: f64,
+}
+
+impl StrassenRow {
+    fn speedup(&self) -> f64 {
+        self.four_russians_ns / self.strassen_ns
+    }
+}
+
+/// Benches a forced depth-1 Strassen split against the blocked
+/// Four-Russians kernel it bottoms out in, on both sides of
+/// `STRASSEN_MIN_DIM` — below the threshold the split loses (the leaves
+/// run at worse per-bit efficiency than one big Four-Russians pass), above
+/// it the saved block product dominates, which is exactly the measurement
+/// the dispatch constant encodes.
+fn bench_strassen<W: Word>(
+    d: usize,
+    budget_ms: u64,
+    max_reps: u32,
+    rng: &mut ChaCha8Rng,
+) -> StrassenRow {
+    let a: BitMatrix<W> = random_matrix_lanes(rng, d);
+    let b: BitMatrix<W> = random_matrix_lanes(rng, d);
+
+    // Correctness gate: the forced split must agree with the dispatching
+    // kernel before anything is timed.
+    assert_eq!(
+        a.mul_f2_strassen_with_levels(&b, 1, 1),
+        a.mul_f2(&b),
+        "strassen kernel disagrees with the dispatcher at d={d}"
+    );
+
+    StrassenRow {
+        d,
+        lane: W::BITS,
+        four_russians_ns: time_ns(budget_ms, max_reps, || {
+            black_box(black_box(&a).mul_f2_four_russians(black_box(&b)));
+        }),
+        strassen_ns: time_ns(budget_ms, max_reps, || {
+            // One worker, explicit depth 1: this row isolates the recursion
+            // against the flat kernel independent of where the dispatch
+            // threshold sits; threading is measured by the parallel rows.
+            black_box(black_box(&a).mul_f2_strassen_with_levels(black_box(&b), 1, 1));
+        }),
+    }
+}
+
 struct CountingRow {
     d: usize,
     scalar_ns: f64,
@@ -396,6 +447,16 @@ fn main() {
             bench_four_russians_blocked(d, budget_ms, max_reps, &mut rng)
         })
         .collect();
+    let mut strassen_rows: Vec<StrassenRow> = Vec::new();
+    for &lane in lanes {
+        for &d in &[2048usize, 4096] {
+            eprintln!("benchmarking strassen matmul d={d} (u{lane} lanes) …");
+            strassen_rows.push(match lane {
+                64 => bench_strassen::<u64>(d, budget_ms, max_reps, &mut rng),
+                _ => bench_strassen::<u128>(d, budget_ms, max_reps, &mut rng),
+            });
+        }
+    }
     let counting_rows: Vec<CountingRow> = [64usize, 128, 256]
         .iter()
         .map(|&d| {
@@ -446,6 +507,19 @@ fn main() {
             row.blocked_ns,
             row.speedup(),
             if i + 1 < blocked_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"matmul_f2_strassen\": [\n");
+    for (i, row) in strassen_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"d\": {}, \"lane\": {}, \"four_russians_ns\": {:.0}, \"strassen_ns\": {:.0}, \"speedup_strassen_vs_four_russians\": {:.2}}}{}\n",
+            row.d,
+            row.lane,
+            row.four_russians_ns,
+            row.strassen_ns,
+            row.speedup(),
+            if i + 1 < strassen_rows.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");

@@ -5,8 +5,8 @@
 use std::time::Instant;
 
 use clique_core::algebraic::{
-    compute_apsp, count_triangles, semiring_matmul, ApspProtocol, Semiring, SemiringMatrix,
-    TriangleCount,
+    compute_apsp, count_triangles, semiring_matmul, sparse_matmul, ApspProtocol, FastMatMul,
+    Semiring, SemiringMatMul, SemiringMatrix, TriangleCount,
 };
 use clique_core::circuits::builders;
 use clique_core::circuits::Circuit;
@@ -25,7 +25,7 @@ use clique_core::lower_bounds::{
 use clique_core::routing::{
     BalancedRouter, DirectRouter, RouteProtocol, Router, RoutingDemand, ValiantRouter,
 };
-use clique_core::sim::linalg::IntMatrix;
+use clique_core::sim::linalg::{BitMatrix, IntMatrix};
 use clique_core::sim::par;
 use clique_core::sim::prelude::*;
 use clique_core::sim::transport::INJECTABLE_FAULTS;
@@ -1147,6 +1147,180 @@ pub fn e17_chaos(scale: Scale) -> ExperimentTable {
     table
 }
 
+/// E18 — the sub-cubic schedules (Censor-Hillel et al. / Le Gall): the
+/// Strassen-partitioned [`FastMatMul`] and the nnz-charged
+/// `SparseMatMul` against the cubic 3D partition, rounds and bits at
+/// equal bandwidth with an oracle-equality column.
+pub fn e18_fast_matmul(scale: Scale) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E18",
+        "sub-cubic distributed matmul: strassen and sparse schedules vs the cubic partition",
+        "on dense ring-embeddable operands (F2, counting) with at least two rows per player, the depth-L Strassen partition spreads 7^L quarter-size leaf products over disjoint groups and takes strictly fewer rounds than the cubic 3D partition at equal bandwidth (at n=28 the dispatcher falls back to cubic, the honest crossover floor); on sparse operands the nnz-charged path moves a fraction of the cubic partition's bits everywhere and strictly fewer rounds from n = 56 up, on all four semirings; every schedule's product equals the local-kernel oracle",
+        &[
+            "what",
+            "n",
+            "d",
+            "b",
+            "semiring",
+            "schedule",
+            "levels",
+            "rounds",
+            "total bits",
+            "rounds/cubic",
+            "oracle =",
+        ],
+    );
+
+    let random_bits = |d: usize, seed: u64| {
+        let mut r = rng(1800 + seed);
+        let mut m = BitMatrix::zeros(d, d);
+        for row in 0..d {
+            for col in 0..d {
+                m.set(row, col, r.gen_bool(0.5));
+            }
+        }
+        m
+    };
+    let random_ints = |d: usize, max: u64, seed: u64| {
+        let mut r = rng(1850 + seed);
+        let mut m = IntMatrix::zeros(d, d);
+        for row in 0..d {
+            for col in 0..d {
+                m.set(row, col, r.gen_range(0..max + 1));
+            }
+        }
+        m
+    };
+
+    // Dense grid: d rows over n players (d ≥ 2n engages the fast
+    // schedule; the n = 28 point is below the 7-group minimum and pins
+    // the cubic fallback).
+    let dense_points: &[(usize, usize)] = scale.pick(
+        &[(28, 84), (56, 112)][..],
+        &[(28, 84), (56, 112), (56, 168), (98, 196), (98, 294)][..],
+    );
+    let bandwidths: &[usize] = scale.pick(&[4][..], &[4, 16][..]);
+    for &(n, d) in dense_points {
+        let seed = (n * d) as u64;
+        let operands: Vec<(Semiring, SemiringMatrix, SemiringMatrix, SemiringMatrix)> = vec![
+            {
+                let (a, b) = (random_bits(d, seed), random_bits(d, seed + 1));
+                let oracle = a.mul_f2(&b);
+                (
+                    Semiring::F2,
+                    SemiringMatrix::Bits(a),
+                    SemiringMatrix::Bits(b),
+                    SemiringMatrix::Bits(oracle),
+                )
+            },
+            {
+                let (a, b) = (random_ints(d, 3, seed), random_ints(d, 3, seed + 1));
+                let oracle = a.mul_counting(&b);
+                (
+                    Semiring::Counting,
+                    SemiringMatrix::Ints(a),
+                    SemiringMatrix::Ints(b),
+                    SemiringMatrix::Ints(oracle),
+                )
+            },
+        ];
+        for &b in bandwidths {
+            for (semiring, ma, mb, oracle) in &operands {
+                let run = |p: &mut dyn Protocol<Output = SemiringMatrix>| {
+                    Runner::new(CliqueConfig::unicast(n, b)).execute(p).unwrap()
+                };
+                let cubic = run(&mut SemiringMatMul::new(ma, mb, *semiring));
+                let fast = run(&mut FastMatMul::new(ma, mb, *semiring));
+                let levels = FastMatMul::levels_for(n, d);
+                for (schedule, levels, outcome) in
+                    [("cubic", 0u32, &cubic), ("strassen", levels, &fast)]
+                {
+                    table.push_row(vec![
+                        "dense A·B".to_owned(),
+                        n.to_string(),
+                        d.to_string(),
+                        b.to_string(),
+                        semiring.name().to_owned(),
+                        schedule.to_owned(),
+                        levels.to_string(),
+                        outcome.rounds().to_string(),
+                        outcome.total_bits().to_string(),
+                        fmt_f64(outcome.rounds() as f64 / cubic.rounds() as f64),
+                        (**outcome == *oracle).to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+
+    // Sparse grid: d = n, ~2 non-identity entries per row — the
+    // nnz-charged path against the dense-charged cubic exchange, on all
+    // four semirings (the sparse path needs no additive inverse).
+    let sparse_sizes: &[usize] = scale.pick(&[27, 56][..], &[27, 56, 98][..]);
+    for &n in sparse_sizes {
+        let mut r = rng(1880 + n as u64);
+        let graph = generators::erdos_renyi(n, 2.0 / n as f64, &mut r);
+        let adjacency_bits = graph.adjacency_bitmatrix();
+        let adjacency_ints = IntMatrix::from_bitmatrix(&adjacency_bits);
+        let hops = ApspProtocol::hop_matrix(&graph);
+        let operands: Vec<(Semiring, SemiringMatrix, SemiringMatrix)> = vec![
+            {
+                let oracle = adjacency_bits.mul_bool(&adjacency_bits);
+                (
+                    Semiring::Boolean,
+                    SemiringMatrix::Bits(adjacency_bits.clone()),
+                    SemiringMatrix::Bits(oracle),
+                )
+            },
+            {
+                let oracle = adjacency_bits.mul_f2(&adjacency_bits);
+                (
+                    Semiring::F2,
+                    SemiringMatrix::Bits(adjacency_bits.clone()),
+                    SemiringMatrix::Bits(oracle),
+                )
+            },
+            {
+                let oracle = adjacency_ints.mul_counting(&adjacency_ints);
+                (
+                    Semiring::Counting,
+                    SemiringMatrix::Ints(adjacency_ints.clone()),
+                    SemiringMatrix::Ints(oracle),
+                )
+            },
+            {
+                let oracle = hops.mul_min_plus(&hops);
+                (
+                    Semiring::MinPlus,
+                    SemiringMatrix::Ints(hops.clone()),
+                    SemiringMatrix::Ints(oracle),
+                )
+            },
+        ];
+        let b = 4;
+        for (semiring, operand, oracle) in &operands {
+            let cubic = semiring_matmul(operand, operand, *semiring, b).unwrap();
+            let sparse = sparse_matmul(operand, operand, *semiring, b).unwrap();
+            for (schedule, outcome) in [("cubic", &cubic), ("sparse", &sparse)] {
+                table.push_row(vec![
+                    "sparse A·A".to_owned(),
+                    n.to_string(),
+                    n.to_string(),
+                    b.to_string(),
+                    semiring.name().to_owned(),
+                    schedule.to_owned(),
+                    "0".to_owned(),
+                    outcome.rounds().to_string(),
+                    outcome.total_bits().to_string(),
+                    fmt_f64(outcome.rounds() as f64 / cubic.rounds() as f64),
+                    (**outcome == *oracle).to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
 /// One registered experiment: its id, a one-line description for
 /// `--list`-style output, and the function regenerating its table.
 pub struct ExperimentEntry {
@@ -1249,6 +1423,11 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
         description: "chaos: seeded fault injection, never silently wrong, retry recovery rates",
         run: e17_chaos,
     },
+    ExperimentEntry {
+        id: "E18",
+        description: "sub-cubic matmul: strassen-partitioned and nnz-charged schedules vs cubic",
+        run: e18_fast_matmul,
+    },
 ];
 
 /// Looks up an experiment by id.
@@ -1337,13 +1516,91 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete_and_unique() {
-        assert_eq!(EXPERIMENTS.len(), 17);
+        assert_eq!(EXPERIMENTS.len(), 18);
         for (i, entry) in EXPERIMENTS.iter().enumerate() {
             assert_eq!(entry.id, format!("E{}", i + 1));
             assert!(!entry.description.is_empty());
             assert_eq!(find_experiment(entry.id).unwrap().id, entry.id);
         }
-        assert!(find_experiment("E18").is_none());
+        assert!(find_experiment("E19").is_none());
+    }
+
+    #[test]
+    fn fast_matmul_experiment_beats_cubic_where_claimed() {
+        let table = e18_fast_matmul(Scale::Quick);
+        let what_col = table.headers.iter().position(|h| h == "what").unwrap();
+        let n_col = table.headers.iter().position(|h| h == "n").unwrap();
+        let schedule_col = table.headers.iter().position(|h| h == "schedule").unwrap();
+        let rounds_col = table.headers.iter().position(|h| h == "rounds").unwrap();
+        let oracle_col = table.headers.iter().position(|h| h == "oracle =").unwrap();
+        assert!(!table.rows.is_empty());
+        assert!(
+            table.rows.iter().all(|r| r[oracle_col] == "true"),
+            "an E18 schedule disagrees with the local-kernel oracle"
+        );
+        let rounds = |what: &str, n: &str, schedule: &str| -> Vec<u64> {
+            table
+                .rows
+                .iter()
+                .filter(|r| r[what_col] == what && r[n_col] == n && r[schedule_col] == schedule)
+                .map(|r| r[rounds_col].parse().unwrap())
+                .collect()
+        };
+        // At n = 56, d = 2n the strassen schedule is strictly ahead of the
+        // cubic partition on every dense row; n = 28 pins the fallback
+        // (identical rounds — the dispatcher would choose cubic anyway).
+        for (fast, cubic) in rounds("dense A·B", "56", "strassen")
+            .into_iter()
+            .zip(rounds("dense A·B", "56", "cubic"))
+        {
+            assert!(fast < cubic, "strassen {fast} rounds vs cubic {cubic}");
+        }
+        for (fast, cubic) in rounds("dense A·B", "28", "strassen")
+            .into_iter()
+            .zip(rounds("dense A·B", "28", "cubic"))
+        {
+            assert_eq!(fast, cubic, "the n = 28 fallback diverged from cubic");
+        }
+        // The nnz-charged path never loses rounds at n = 56 and moves a
+        // fraction of the cubic bits on every sparse row (the wide-entry
+        // semirings also win rounds strictly; the 1-bit ones tie on the
+        // round floor while moving ~6x fewer bits).
+        let semiring_col = table.headers.iter().position(|h| h == "semiring").unwrap();
+        let bits_col = table
+            .headers
+            .iter()
+            .position(|h| h == "total bits")
+            .unwrap();
+        for row in table.rows.iter().filter(|r| {
+            r[what_col] == "sparse A·A" && r[n_col] == "56" && r[schedule_col] == "sparse"
+        }) {
+            let cubic_row = table
+                .rows
+                .iter()
+                .find(|r| {
+                    r[what_col] == "sparse A·A"
+                        && r[n_col] == "56"
+                        && r[schedule_col] == "cubic"
+                        && r[semiring_col] == row[semiring_col]
+                })
+                .unwrap();
+            let (sparse, cubic): (u64, u64) = (
+                row[rounds_col].parse().unwrap(),
+                cubic_row[rounds_col].parse().unwrap(),
+            );
+            let (sparse_bits, cubic_bits): (u64, u64) = (
+                row[bits_col].parse().unwrap(),
+                cubic_row[bits_col].parse().unwrap(),
+            );
+            assert!(sparse <= cubic, "sparse {sparse} rounds vs cubic {cubic}");
+            assert!(
+                sparse_bits * 3 < cubic_bits,
+                "sparse {sparse_bits} bits vs cubic {cubic_bits}"
+            );
+            if matches!(row[semiring_col].as_str(), "counting" | "min-plus") {
+                assert!(sparse < cubic, "sparse {sparse} rounds vs cubic {cubic}");
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The paper has no numeric tables or figures (its results are theorems), so
 //! the "tables" this harness regenerates are the per-theorem experiments
-//! listed in DESIGN.md (E1–E17): every experiment runs the corresponding
+//! listed in DESIGN.md (E1–E18): every experiment runs the corresponding
 //! construction over a parameter sweep and reports the measured rounds, bits
 //! or sizes next to the bound the theorem predicts.
 //!

@@ -125,8 +125,15 @@ pub fn matmul_f2_naive(dim: usize) -> MatMulCircuit {
 ///
 /// Panics if `dim` is not a power of two or is zero.
 pub fn matmul_f2_strassen(dim: usize) -> MatMulCircuit {
+    // The circuit splits all the way to 1×1 blocks, so its dimension must
+    // be a fixed point of the shared block-split padding seam at the full
+    // recursion depth (`MatMulStrategy::padded_dim` produces exactly these).
     assert!(
-        dim > 0 && dim.is_power_of_two(),
+        dim > 0
+            && clique_sim::linalg::strassen_padded_dim(
+                dim,
+                clique_sim::linalg::strassen_full_levels(dim),
+            ) == dim,
         "Strassen circuit needs a power-of-two dimension"
     );
     let mut c = Circuit::new();
@@ -332,6 +339,30 @@ mod tests {
                     "Strassen mismatch at d = {d}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn strassen_circuit_matches_the_packed_strassen_kernel() {
+        // The lifting seam: the explicit circuit, the packed
+        // `mul_f2_strassen` kernel (recursion forced at small dims) and the
+        // bool-at-a-time oracle all compute one product.
+        let mut rng = ChaCha8Rng::seed_from_u64(45);
+        for (d, levels) in [(2usize, 1u32), (4, 2), (8, 3)] {
+            let circuit = matmul_f2_strassen(d);
+            let a = random_matrix(&mut rng, d);
+            let b = random_matrix(&mut rng, d);
+            let lifted = circuit.multiply(&a, &b);
+            assert_eq!(
+                lifted,
+                a.mul_f2_strassen_with_levels(&b, levels, 1),
+                "kernel mismatch at d = {d}"
+            );
+            assert_eq!(
+                lifted.to_rows(),
+                matmul_f2_scalar(&a.to_rows(), &b.to_rows()),
+                "oracle mismatch at d = {d}"
+            );
         }
     }
 

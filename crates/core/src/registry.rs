@@ -25,7 +25,7 @@ use clique_sim::{BitString, CliqueConfig, Metrics, Runner, Session, SimError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::algebraic::{ApspProtocol, TriangleCount};
+use crate::algebraic::{ApspProtocol, MatMulSchedule, TriangleCount};
 use crate::mst::{MsfOutput, MstProtocol};
 use crate::outcome::Detection;
 use crate::subgraph::TuranSketchDetection;
@@ -165,10 +165,22 @@ pub const PROTOCOLS: &[ProtocolEntry] = &[
         run: run_triangle_count,
     },
     ProtocolEntry {
+        id: "triangle-count-fast",
+        description: "triangle counting with auto matmul dispatch (cubic/strassen/sparse) (CLIQUE-UCAST)",
+        kind: InputKind::Unweighted,
+        run: run_triangle_count_fast,
+    },
+    ProtocolEntry {
         id: "apsp",
         description: "all-pairs shortest paths by (min,+) squaring (CLIQUE-UCAST)",
         kind: InputKind::Unweighted,
         run: run_apsp,
+    },
+    ProtocolEntry {
+        id: "apsp-fast",
+        description: "APSP with auto matmul dispatch per squaring (cubic/sparse) (CLIQUE-UCAST)",
+        kind: InputKind::Unweighted,
+        run: run_apsp_fast,
     },
     ProtocolEntry {
         id: "c4-turan-sketch",
@@ -291,6 +303,25 @@ fn run_triangle_count(input: &JobInput, options: &RunOptions) -> Result<Protocol
     })
 }
 
+fn run_triangle_count_fast(
+    input: &JobInput,
+    options: &RunOptions,
+) -> Result<ProtocolRun, SimError> {
+    let graph = input.unweighted("triangle-count-fast");
+    let outcome = runner(
+        CliqueConfig::unicast(graph.vertex_count(), options.bandwidth),
+        options,
+    )
+    .execute(&mut TriangleCount::with_schedule(
+        graph,
+        MatMulSchedule::Auto,
+    ))?;
+    Ok(ProtocolRun {
+        output: format!("{{\"triangles\":{}}}", outcome.output),
+        metrics: outcome.metrics,
+    })
+}
+
 fn run_apsp(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimError> {
     let graph = input.unweighted("apsp");
     let outcome = runner(
@@ -298,6 +329,22 @@ fn run_apsp(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimEr
         options,
     )
     .execute(&mut ApspProtocol::new(graph))?;
+    Ok(ProtocolRun {
+        output: apsp_digest(&outcome.output),
+        metrics: outcome.metrics,
+    })
+}
+
+fn run_apsp_fast(input: &JobInput, options: &RunOptions) -> Result<ProtocolRun, SimError> {
+    let graph = input.unweighted("apsp-fast");
+    let outcome = runner(
+        CliqueConfig::unicast(graph.vertex_count(), options.bandwidth),
+        options,
+    )
+    .execute(&mut ApspProtocol::with_schedule(
+        graph,
+        MatMulSchedule::Auto,
+    ))?;
     Ok(ProtocolRun {
         output: apsp_digest(&outcome.output),
         metrics: outcome.metrics,

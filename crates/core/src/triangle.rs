@@ -41,10 +41,19 @@ impl MatMulStrategy {
     /// *single* place padding is decided (Strassen rounds up to a power of
     /// two, the naive circuit takes any dimension). Pad the input matrices
     /// to this dimension and pass it unchanged to [`Self::circuit`].
+    ///
+    /// The Strassen arm delegates to the block-split seam
+    /// [`clique_sim::linalg::strassen_padded_dim`] at the full recursion
+    /// depth (the circuit splits all the way to `1 × 1` blocks), so the
+    /// circuit path, the local `mul_f2_strassen` kernel and the distributed
+    /// `FastMatMul` schedule all pad through one rule and no path re-pads.
     pub fn padded_dim(&self, n: usize) -> usize {
         match self {
             MatMulStrategy::Naive => n,
-            MatMulStrategy::Strassen => n.next_power_of_two(),
+            MatMulStrategy::Strassen => clique_sim::linalg::strassen_padded_dim(
+                n,
+                clique_sim::linalg::strassen_full_levels(n),
+            ),
         }
     }
 

@@ -21,7 +21,13 @@
 //!   (the `kernels` bench bin reports the ratio).
 //!
 //! [`BitMatrix::mul_f2`] dispatches between them (Four Russians from
-//! dimension 256 up). [`BitMatrix::mul_bool`] (OR/AND) and
+//! dimension 256 up). On top of the dispatcher sits
+//! [`BitMatrix::mul_f2_strassen`]: Strassen's recursion over `F₂`
+//! (subtraction *is* XOR, so no entry widths grow), splitting from
+//! [`STRASSEN_MIN_DIM`] with the padded dimension decided once by
+//! [`strassen_padded_dim`] — the same block-split seam the distributed
+//! `FastMatMul` schedule and the explicit circuit family pad with.
+//! [`BitMatrix::mul_bool`] (OR/AND) and
 //! [`BitMatrix::popcount_product`] (AND+popcount counting product) serve the
 //! Boolean and counting semirings of the algebraic protocols, and
 //! [`IntMatrix`] carries the small-integer `(+, ×)` and `(min, +)` semiring
@@ -53,6 +59,21 @@ pub const FOUR_RUSSIANS_MIN_DIM: usize = 256;
 /// same dispatcher seam as [`FOUR_RUSSIANS_MIN_DIM`]: both pick an
 /// implementation, never a different result.
 pub const PAR_MIN_ROWS: usize = 64;
+
+/// Dimension from which [`BitMatrix::mul_f2_strassen`] keeps splitting;
+/// below it the recursion bottoms out in the [`BitMatrix::mul_f2`]
+/// dispatcher (Four Russians from [`FOUR_RUSSIANS_MIN_DIM`] up). Strassen
+/// trades one eighth of the block products for a constant number of
+/// `O(d²)` XOR passes, but the Four-Russians kernel also gets *more*
+/// efficient per output bit as `d` grows (its tables amortise over longer
+/// rows), so splitting only pays once the leaves are themselves large:
+/// measured best-of-3 on this container, a forced depth-1 split runs at
+/// 0.70×/0.75× (u64/u128) Four Russians at `d = 2048`, ties at `d = 3072`
+/// (1.06×/1.03×) and clearly wins at `d = 4096` (1.65×/1.38×). The
+/// `kernels` bench bin reports both kernels side by side around the
+/// threshold; like the other dispatch constants it selects an execution
+/// schedule, never a different result.
+pub const STRASSEN_MIN_DIM: usize = 3072;
 
 /// Rows-of-`B` block width of the Four-Russians kernel (8 bits → 256-entry
 /// tables).
@@ -91,6 +112,44 @@ fn row_workers(rows: usize, threads: usize) -> usize {
     } else {
         1
     }
+}
+
+/// Number of recursive halvings [`BitMatrix::mul_f2_strassen`] applies to a
+/// `d`-dimensional product before bottoming out in the [`BitMatrix::mul_f2`]
+/// dispatcher: halve while the dimension is at least [`STRASSEN_MIN_DIM`].
+pub fn strassen_levels(d: usize) -> u32 {
+    let mut levels = 0;
+    let mut dim = d;
+    while dim >= STRASSEN_MIN_DIM {
+        dim = dim.div_ceil(2);
+        levels += 1;
+    }
+    levels
+}
+
+/// The recursion depth that splits a `d`-dimensional product all the way to
+/// `1 × 1` blocks — the depth of the explicit Strassen *circuit* family
+/// (`clique-circuits`), whose padded dimension is therefore
+/// `strassen_padded_dim(d, strassen_full_levels(d)) = d.next_power_of_two()`.
+pub fn strassen_full_levels(d: usize) -> u32 {
+    d.max(1).next_power_of_two().trailing_zeros()
+}
+
+/// The dimension a Strassen-partitioned product pads its operands to before
+/// splitting: the smallest dimension `≥ d` divisible by `2^levels`, so
+/// `levels` exact halvings need no re-padding along the way.
+///
+/// This is the *single* place block-split padding is decided — the
+/// `padded_dim` rule of the circuit path (`MatMulStrategy` in
+/// `clique-core`, which uses the full-recursion depth
+/// [`strassen_full_levels`] and therefore rounds to the next power of two)
+/// extended to the bounded-depth block splits of the local
+/// [`BitMatrix::mul_f2_strassen`] kernel and the distributed `FastMatMul`
+/// schedule. Callers pad once at the top with this dimension and split
+/// exactly thereafter; no path re-pads.
+pub fn strassen_padded_dim(d: usize, levels: u32) -> usize {
+    let unit = 1usize << levels;
+    d.div_ceil(unit) * unit
 }
 
 /// A dense Boolean matrix with rows packed into little-endian words
@@ -625,6 +684,158 @@ impl<W: Word> BitMatrix<W> {
         out
     }
 
+    /// The matrix zero-extended to `rows × cols` (entries keep their
+    /// positions; new cells are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension shrinks.
+    pub fn padded(&self, rows: usize, cols: usize) -> BitMatrix<W> {
+        assert!(
+            rows >= self.rows && cols >= self.cols,
+            "cannot pad {}×{} down to {rows}×{cols}",
+            self.rows,
+            self.cols
+        );
+        let mut out = BitMatrix::zeros(rows, cols);
+        for i in 0..self.rows {
+            out.data[i * out.words_per_row..i * out.words_per_row + self.words_per_row]
+                .copy_from_slice(self.row_words(i));
+        }
+        out
+    }
+
+    /// Overwrites the block at `(row0, col0)` with `block` (the inverse of
+    /// [`Self::submatrix`]). Word-aligned column offsets copy whole words;
+    /// unaligned offsets fall back to per-bit writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block reaches past the matrix.
+    pub fn paste(&mut self, row0: usize, col0: usize, block: &BitMatrix<W>) {
+        assert!(
+            row0 + block.rows <= self.rows && col0 + block.cols <= self.cols,
+            "block {}×{} at ({row0},{col0}) exceeds {}×{}",
+            block.rows,
+            block.cols,
+            self.rows,
+            self.cols
+        );
+        if block.is_empty() {
+            return;
+        }
+        if col0.is_multiple_of(W::BITS) {
+            let word0 = col0 / W::BITS;
+            let rem = block.cols % W::BITS;
+            for i in 0..block.rows {
+                let src = block.row_words(i);
+                let dst = &mut self.row_words_mut(row0 + i)[word0..word0 + src.len()];
+                if rem == 0 {
+                    dst.copy_from_slice(src);
+                } else {
+                    let (full, last) = src.split_at(src.len() - 1);
+                    dst[..full.len()].copy_from_slice(full);
+                    let mask = W::mask_low(rem);
+                    dst[full.len()] = (dst[full.len()] & !mask) | (last[0] & mask);
+                }
+            }
+        } else {
+            for i in 0..block.rows {
+                for j in 0..block.cols {
+                    self.set(row0 + i, col0 + j, block.get(i, j));
+                }
+            }
+        }
+    }
+
+    /// The matrix product over `F₂` by Strassen's recursion: operands are
+    /// padded once to [`strassen_padded_dim`] at depth [`strassen_levels`],
+    /// each level trades one of the eight block products for a constant
+    /// number of word-parallel XOR passes (subtraction *is* addition over
+    /// `F₂`, so no widths grow), and the leaves bottom out in the
+    /// [`Self::mul_f2`] dispatcher. Below [`STRASSEN_MIN_DIM`] this *is*
+    /// [`Self::mul_f2`]; results are bit-identical on every path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_f2_strassen(&self, rhs: &BitMatrix<W>) -> BitMatrix<W> {
+        self.mul_f2_strassen_with_threads(rhs, par::threads())
+    }
+
+    /// [`Self::mul_f2_strassen`] with an explicit worker budget for the leaf
+    /// products (1 forces the serial path; the result is identical at every
+    /// worker count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_f2_strassen_with_threads(&self, rhs: &BitMatrix<W>, threads: usize) -> BitMatrix<W> {
+        let d = self.rows.max(self.cols).max(rhs.cols);
+        self.mul_f2_strassen_with_levels(rhs, strassen_levels(d), threads)
+    }
+
+    /// [`Self::mul_f2_strassen`] at an explicit recursion depth — the
+    /// dispatch seam behind [`strassen_levels`], public so tests and the
+    /// `kernels` bench bin can force recursion on dimensions below the
+    /// crossover and compare depths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_f2_strassen_with_levels(
+        &self,
+        rhs: &BitMatrix<W>,
+        levels: u32,
+        threads: usize,
+    ) -> BitMatrix<W> {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions differ: {} vs {}",
+            self.cols, rhs.rows
+        );
+        if levels == 0 {
+            return self.mul_f2_with_threads(rhs, threads);
+        }
+        let d = self.rows.max(self.cols).max(rhs.cols);
+        let p = strassen_padded_dim(d, levels);
+        let a = self.padded(p, p);
+        let b = rhs.padded(p, p);
+        let c = Self::strassen_split(&a, &b, levels, threads);
+        c.submatrix(0, 0, self.rows, rhs.cols)
+    }
+
+    /// One Strassen level on square power-aligned operands: seven recursive
+    /// half-dimension products combined with XOR passes.
+    fn strassen_split(a: &BitMatrix<W>, b: &BitMatrix<W>, levels: u32, threads: usize) -> Self {
+        if levels == 0 {
+            return a.mul_f2_with_threads(b, threads);
+        }
+        let h = a.rows / 2;
+        let a11 = a.submatrix(0, 0, h, h);
+        let a12 = a.submatrix(0, h, h, h);
+        let a21 = a.submatrix(h, 0, h, h);
+        let a22 = a.submatrix(h, h, h, h);
+        let b11 = b.submatrix(0, 0, h, h);
+        let b12 = b.submatrix(0, h, h, h);
+        let b21 = b.submatrix(h, 0, h, h);
+        let b22 = b.submatrix(h, h, h, h);
+        let rec = |x: &Self, y: &Self| Self::strassen_split(x, y, levels - 1, threads);
+        let m1 = rec(&a11.xor(&a22), &b11.xor(&b22));
+        let m2 = rec(&a21.xor(&a22), &b11);
+        let m3 = rec(&a11, &b12.xor(&b22));
+        let m4 = rec(&a22, &b21.xor(&b11));
+        let m5 = rec(&a11.xor(&a12), &b22);
+        let m6 = rec(&a21.xor(&a11), &b11.xor(&b12));
+        let m7 = rec(&a12.xor(&a22), &b21.xor(&b22));
+        let mut out = BitMatrix::zeros(2 * h, 2 * h);
+        out.paste(0, 0, &m1.xor(&m4).xor(&m5).xor(&m7));
+        out.paste(0, h, &m3.xor(&m5));
+        out.paste(h, 0, &m2.xor(&m4));
+        out.paste(h, h, &m1.xor(&m2).xor(&m3).xor(&m6));
+        out
+    }
+
     /// The matrix product over the Boolean semiring `(∨, ∧)`: for every set
     /// bit `A[i][k]`, OR row `k` of `B` into output row `i` (`W::BITS`
     /// columns per word operation). From [`PAR_MIN_ROWS`] output rows the
@@ -1080,6 +1291,56 @@ impl IntMatrix {
         });
         out
     }
+
+    /// The matrix product over `ℤ/2⁶⁴` (wrapping multiply-accumulate):
+    /// entries are treated as two's-complement integers, so the result is
+    /// the exact integer product whenever the true values fit `i64` — the
+    /// local leaf kernel of the distributed Strassen schedule, whose
+    /// intermediate block combinations are signed even though the semiring
+    /// operands are not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_wrapping(&self, rhs: &IntMatrix) -> IntMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions differ: {} vs {}",
+            self.cols, rhs.rows
+        );
+        let mut out = IntMatrix::zeros(self.rows, rhs.cols);
+        for (r, out_row) in out.data.chunks_mut(rhs.cols.max(1)).enumerate() {
+            for (k, &a) in self.row(r).iter().enumerate() {
+                if a == 0 {
+                    continue;
+                }
+                for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
+                    *o = o.wrapping_add(a.wrapping_mul(b));
+                }
+            }
+        }
+        out
+    }
+
+    /// The matrix extended to `rows × cols` with every new cell set to
+    /// `fill` (entries keep their positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension shrinks.
+    pub fn padded(&self, rows: usize, cols: usize, fill: u64) -> IntMatrix {
+        assert!(
+            rows >= self.rows && cols >= self.cols,
+            "cannot pad {}×{} down to {rows}×{cols}",
+            self.rows,
+            self.cols
+        );
+        let mut out = IntMatrix::filled(rows, cols, fill);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+        }
+        out
+    }
 }
 
 /// Counting-semiring addition saturating strictly below
@@ -1414,6 +1675,110 @@ mod tests {
         let _ = BitMatrix::<DefaultLane>::zeros(3, 3).submatrix(1, 1, 3, 2);
     }
 
+    fn paste_round_trips_for<W: Word>() {
+        let m = pseudo_random::<W>(12, 300, 131);
+        // Aligned and unaligned column offsets, straddling word boundaries.
+        for (r0, c0, rows, cols) in [
+            (0usize, 0usize, 12usize, 300usize),
+            (2, W::BITS, 5, W::BITS),
+            (3, W::BITS, 4, W::BITS + 7),
+            (1, 37, 6, 91),
+            (4, 129, 3, 70),
+        ] {
+            let block = m.submatrix(r0, c0, rows, cols);
+            let mut target = pseudo_random::<W>(12, 300, 132);
+            let before = target.clone();
+            target.paste(r0, c0, &block);
+            for i in 0..12 {
+                for j in 0..300 {
+                    let inside = (r0..r0 + rows).contains(&i) && (c0..c0 + cols).contains(&j);
+                    let expected = if inside {
+                        m.get(i, j)
+                    } else {
+                        before.get(i, j)
+                    };
+                    assert_eq!(target.get(i, j), expected, "({i},{j}) block at ({r0},{c0})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paste_writes_blocks_and_preserves_surroundings() {
+        paste_round_trips_for::<u64>();
+        paste_round_trips_for::<u128>();
+    }
+
+    #[test]
+    fn padded_zero_extends() {
+        let m = pseudo_random::<DefaultLane>(5, 70, 141);
+        let p = m.padded(9, 133);
+        assert_eq!((p.rows(), p.cols()), (9, 133));
+        assert_eq!(p.submatrix(0, 0, 5, 70), m);
+        assert_eq!(p.count_ones(), m.count_ones());
+    }
+
+    #[test]
+    fn strassen_levels_and_padding_follow_the_single_seam() {
+        // The crossover: no split below STRASSEN_MIN_DIM, one per halving
+        // above it.
+        assert_eq!(strassen_levels(0), 0);
+        assert_eq!(strassen_levels(STRASSEN_MIN_DIM - 1), 0);
+        assert_eq!(strassen_levels(STRASSEN_MIN_DIM), 1);
+        assert_eq!(strassen_levels(2 * STRASSEN_MIN_DIM - 1), 2);
+        // Bounded-depth padding rounds to a multiple of 2^levels; the
+        // full-recursion depth reproduces the circuit path's
+        // next-power-of-two rule exactly.
+        assert_eq!(strassen_padded_dim(13, 0), 13);
+        assert_eq!(strassen_padded_dim(13, 2), 16);
+        assert_eq!(strassen_padded_dim(16, 2), 16);
+        for d in 1..=70usize {
+            assert_eq!(
+                strassen_padded_dim(d, strassen_full_levels(d)),
+                d.next_power_of_two(),
+                "d = {d}"
+            );
+        }
+    }
+
+    fn strassen_matches_dispatch_for<W: Word>() {
+        // Forced recursion on sizes far below the crossover keeps the test
+        // cheap while exercising padding (non-power-of-two dims),
+        // rectangularity and multi-level splits.
+        for (ra, c, cb, levels, seed) in [
+            (1usize, 1usize, 1usize, 1u32, 151u64),
+            (37, 37, 37, 1, 152),
+            (64, 64, 64, 2, 153),
+            (45, 90, 33, 2, 154),
+            (100, 70, 129, 3, 155),
+        ] {
+            let a = pseudo_random::<W>(ra, c, seed);
+            let b = pseudo_random::<W>(c, cb, seed + 50);
+            assert_eq!(
+                a.mul_f2_strassen_with_levels(&b, levels, 1),
+                a.mul_f2(&b),
+                "strassen {ra}x{c}x{cb} levels={levels}"
+            );
+        }
+    }
+
+    #[test]
+    fn strassen_product_matches_the_dispatcher_at_every_depth() {
+        strassen_matches_dispatch_for::<u64>();
+        strassen_matches_dispatch_for::<u128>();
+    }
+
+    #[test]
+    fn strassen_dispatch_below_crossover_is_the_plain_dispatcher() {
+        // Below STRASSEN_MIN_DIM the public entry point must not pad or
+        // split at all — identical to mul_f2 by construction.
+        let d = 90;
+        let a = pseudo_random::<DefaultLane>(d, d, 161);
+        let b = pseudo_random(d, d, 162);
+        assert_eq!(strassen_levels(d), 0);
+        assert_eq!(a.mul_f2_strassen(&b), a.mul_f2(&b));
+    }
+
     #[test]
     fn boolean_product_matches_scalar_or_and() {
         for (ra, c, cb, seed) in [
@@ -1576,6 +1941,33 @@ mod tests {
         let a = IntMatrix::filled(3, 3, IntMatrix::INFINITY);
         assert_eq!(a.mul_min_plus(&a), a);
         assert_eq!(a.max_finite(), 0);
+    }
+
+    #[test]
+    fn wrapping_product_is_exact_integer_arithmetic_with_signs() {
+        // Non-negative operands agree with the counting product (no
+        // saturation in range)...
+        let a = pseudo_random_ints(7, 9, 6, 171);
+        let b = pseudo_random_ints(9, 5, 6, 172);
+        assert_eq!(a.mul_wrapping(&b), a.mul_counting(&b));
+        // ...and two's-complement entries multiply as signed integers: with
+        // A = [2, -3] and B = [[5], [1]], C = 2·5 − 3·1 = 7.
+        let a = IntMatrix::from_rows(&[vec![2, (-3i64) as u64]]);
+        let b = IntMatrix::from_rows(&[vec![5], vec![1]]);
+        assert_eq!(a.mul_wrapping(&b).get(0, 0), 7);
+        // A negative result round-trips through the representation:
+        // 1·5 − 6·1 = −1.
+        let a = IntMatrix::from_rows(&[vec![1, (-6i64) as u64]]);
+        assert_eq!(a.mul_wrapping(&b).get(0, 0) as i64, -1);
+    }
+
+    #[test]
+    fn int_padding_fills_new_cells() {
+        let m = IntMatrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let p = m.padded(3, 4, 9);
+        assert_eq!(p.submatrix(0, 0, 2, 2), m);
+        assert_eq!(p.get(2, 3), 9);
+        assert_eq!(p.get(0, 2), 9);
     }
 
     #[test]

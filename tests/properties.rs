@@ -6,7 +6,10 @@
 //! subgraph-isomorphism oracle, Behrend sets, and the lower-bound gadget
 //! semantics of Observation 11.
 
-use congested_clique::algebraic::{semiring_matmul, Semiring, SemiringMatrix};
+use congested_clique::algebraic::{
+    fast_matmul, semiring_matmul, sparse_matmul, FastMatMul, MatMulSchedule, ScheduledMatMul,
+    Semiring, SemiringMatrix,
+};
 use congested_clique::circuits::matmul::{matmul_f2_reference, matmul_f2_scalar};
 use congested_clique::circuits::{builders, BitMatrix, Circuit, GateKind};
 use congested_clique::comm::disjointness::DisjointnessInstance;
@@ -330,6 +333,111 @@ proptest! {
         let outcome = semiring_matmul(&a, &b, Semiring::Boolean, 3).expect("protocol failed");
         let expected = a.as_bits().unwrap().mul_bool(b.as_bits().unwrap());
         prop_assert_eq!(outcome.as_bits().unwrap(), &expected);
+    }
+
+    #[test]
+    fn fast_and_sparse_schedules_match_cubic_and_local_kernels(
+        d in 1usize..14,
+        density in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        // Every schedule is an execution plan for the *same* product: on
+        // random operands of every density (including d = 1 and other
+        // degenerate dims) the fast and sparse paths must equal the cubic
+        // partition and the local kernel entry for entry. Below the
+        // crossover the fast path is its documented cubic fallback, so this
+        // also pins that seam.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let bits = |salt: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ salt);
+            let rows: Vec<Vec<bool>> = (0..d)
+                .map(|_| (0..d).map(|_| rng.gen_bool(density)).collect())
+                .collect();
+            SemiringMatrix::Bits(BitMatrix::from_rows(&rows))
+        };
+        let (a, b) = (bits(0x5EED), bits(0xFA57));
+        for semiring in [Semiring::Boolean, Semiring::F2] {
+            let a_bits = a.as_bits().unwrap();
+            let b_bits = b.as_bits().unwrap();
+            let local = match semiring {
+                Semiring::Boolean => a_bits.mul_bool(b_bits),
+                _ => a_bits.mul_f2(b_bits),
+            };
+            let cubic = semiring_matmul(&a, &b, semiring, 3).expect("cubic failed");
+            prop_assert_eq!(cubic.as_bits().unwrap(), &local, "cubic {}", semiring.name());
+            let sparse = sparse_matmul(&a, &b, semiring, 3).expect("sparse failed");
+            prop_assert_eq!(sparse.as_bits().unwrap(), &local, "sparse {}", semiring.name());
+            if semiring == Semiring::F2 {
+                let fast = fast_matmul(&a, &b, semiring, 3).expect("fast failed");
+                prop_assert_eq!(fast.as_bits().unwrap(), &local, "fast f2");
+            }
+        }
+        let mut ints = |minplus: bool| {
+            let m = IntMatrix::from_rows(&(0..d).map(|_| (0..d).map(|_| {
+                if minplus && rng.gen_bool(0.3) {
+                    IntMatrix::INFINITY
+                } else {
+                    rng.gen_range(0..4u64)
+                }
+            }).collect::<Vec<_>>()).collect::<Vec<_>>());
+            SemiringMatrix::Ints(m)
+        };
+        let (ca, cb) = (ints(false), ints(false));
+        let counting_local = ca.as_ints().unwrap().mul_counting(cb.as_ints().unwrap());
+        let cubic = semiring_matmul(&ca, &cb, Semiring::Counting, 3).expect("cubic failed");
+        prop_assert_eq!(cubic.as_ints().unwrap(), &counting_local, "cubic counting");
+        let fast = fast_matmul(&ca, &cb, Semiring::Counting, 3).expect("fast failed");
+        prop_assert_eq!(fast.as_ints().unwrap(), &counting_local, "fast counting");
+        let sparse = sparse_matmul(&ca, &cb, Semiring::Counting, 3).expect("sparse failed");
+        prop_assert_eq!(sparse.as_ints().unwrap(), &counting_local, "sparse counting");
+        // Tropical (min, +) has no additive inverse, so no density or size
+        // may ever steer Auto dispatch onto the Strassen schedule — it
+        // falls back to cubic (or the always-valid sparse path), and the
+        // cubic result is the local kernel's.
+        let (ta, tb) = (ints(true), ints(true));
+        let tropical_local = ta.as_ints().unwrap().mul_min_plus(tb.as_ints().unwrap());
+        for n in [d, 56, 512] {
+            prop_assert_ne!(
+                MatMulSchedule::Auto.resolve(&ta, &tb, Semiring::MinPlus, n),
+                MatMulSchedule::Strassen,
+                "tropical must never dispatch to strassen (n = {})", n
+            );
+            prop_assert_ne!(
+                MatMulSchedule::Auto.resolve(&a, &b, Semiring::Boolean, n),
+                MatMulSchedule::Strassen,
+                "boolean must never dispatch to strassen (n = {})", n
+            );
+        }
+        let cubic = semiring_matmul(&ta, &tb, Semiring::MinPlus, 3).expect("cubic failed");
+        prop_assert_eq!(cubic.as_ints().unwrap(), &tropical_local, "cubic min-plus");
+        let sparse = sparse_matmul(&ta, &tb, Semiring::MinPlus, 3).expect("sparse failed");
+        prop_assert_eq!(sparse.as_ints().unwrap(), &tropical_local, "sparse min-plus");
+    }
+
+    #[test]
+    fn scheduled_matmul_is_transcript_identical_across_workers(
+        d in 2usize..12,
+        density in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        // The determinism contract extends to every matmul schedule: output
+        // and metrics ledger are identical at 1 and 4 workers.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<bool>> = (0..d)
+            .map(|_| (0..d).map(|_| rng.gen_bool(density)).collect())
+            .collect();
+        let a = SemiringMatrix::Bits(BitMatrix::from_rows(&rows));
+        for schedule in [MatMulSchedule::Cubic, MatMulSchedule::Sparse, MatMulSchedule::Auto] {
+            let run = |threads: usize| {
+                Runner::new(CliqueConfig::unicast(d, 3))
+                    .with_threads(Some(threads))
+                    .execute(&mut ScheduledMatMul::new(&a, &a, Semiring::F2, schedule))
+                    .expect("schedule run failed")
+            };
+            let (one, four) = (run(1), run(4));
+            prop_assert_eq!(&one.output, &four.output, "output, {}", schedule.name());
+            prop_assert_eq!(&one.metrics, &four.metrics, "ledger, {}", schedule.name());
+        }
     }
 
     #[test]
@@ -823,4 +931,47 @@ proptest! {
             }
         }
     }
+}
+
+/// Above the dispatch crossover (n ≥ 56 players, d ≥ 2n rows, here with an
+/// odd `d` so every level of the split exercises the non-power-of-two
+/// padding seam) the Strassen schedule must (a) equal the local kernel
+/// entry for entry, (b) be transcript-identical at 1 and 4 workers, and
+/// (c) win rounds against the cubic partition at equal bandwidth — the
+/// claim experiment E18 tabulates, pinned here on one grid point.
+#[test]
+fn strassen_schedule_above_crossover_is_exact_parallel_safe_and_faster() {
+    let (n, d, b) = (56usize, 113usize, 4usize);
+    assert!(FastMatMul::levels_for(n, d) >= 1, "grid point must recurse");
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+    let rows: Vec<Vec<bool>> = (0..d)
+        .map(|_| (0..d).map(|_| rng.gen_bool(0.5)).collect())
+        .collect();
+    let a = SemiringMatrix::Bits(BitMatrix::from_rows(&rows));
+    let run = |threads: usize| {
+        Runner::new(CliqueConfig::unicast(n, b))
+            .with_threads(Some(threads))
+            .execute(&mut FastMatMul::new(&a, &a, Semiring::F2))
+            .expect("fast run failed")
+    };
+    let one = run(1);
+    let local = a.as_bits().unwrap().mul_f2(a.as_bits().unwrap());
+    assert_eq!(one.as_bits().unwrap(), &local, "fast != local kernel");
+    let four = run(4);
+    assert_eq!(one.output, four.output, "outputs differ across workers");
+    assert_eq!(one.metrics, four.metrics, "ledgers differ across workers");
+    let cubic = Runner::new(CliqueConfig::unicast(n, b))
+        .execute(&mut congested_clique::algebraic::SemiringMatMul::new(
+            &a,
+            &a,
+            Semiring::F2,
+        ))
+        .expect("cubic run failed");
+    assert_eq!(cubic.as_bits().unwrap(), &local, "cubic != local kernel");
+    assert!(
+        one.rounds() < cubic.rounds(),
+        "strassen ({} rounds) must beat cubic ({} rounds) above the crossover",
+        one.rounds(),
+        cubic.rounds()
+    );
 }

@@ -294,3 +294,33 @@ fn routers_match_pre_redesign_counts() {
         .unwrap();
     assert_eq!((valiant.rounds(), valiant.total_bits()), (8, 432));
 }
+
+#[test]
+fn fast_matmul_schedules_match_pinned_counts() {
+    use congested_clique::algebraic::{FastMatMul, Semiring, SemiringMatrix, SparseMatMul};
+
+    // Strassen schedule above the dispatch crossover: 56 players, two rows
+    // each, the E18 (56, 112) grid point at bandwidth 4.
+    let mut r = ChaCha8Rng::seed_from_u64(0x5EED);
+    let rows: Vec<Vec<bool>> = (0..112)
+        .map(|_| (0..112).map(|_| r.gen_bool(0.5)).collect())
+        .collect();
+    let a = SemiringMatrix::Bits(BitMatrix::from_rows(&rows));
+    let fast = Runner::new(CliqueConfig::unicast(56, 4))
+        .execute(&mut FastMatMul::new(&a, &a, Semiring::F2))
+        .unwrap();
+    let local = a.as_bits().unwrap().mul_f2(a.as_bits().unwrap());
+    assert_eq!(fast.as_bits().unwrap(), &local);
+    assert_eq!((fast.rounds(), fast.total_bits()), (120, 553066));
+
+    // Sparse schedule on the fixed g24 detection instance (a ~15% dense
+    // adjacency, well under the density threshold).
+    let g = g24();
+    let adj = SemiringMatrix::Bits(g.adjacency_bitmatrix());
+    let sparse = Runner::new(CliqueConfig::unicast(24, 4))
+        .execute(&mut SparseMatMul::new(&adj, &adj, Semiring::Boolean))
+        .unwrap();
+    let local = adj.as_bits().unwrap().mul_bool(adj.as_bits().unwrap());
+    assert_eq!(sparse.as_bits().unwrap(), &local);
+    assert_eq!((sparse.rounds(), sparse.total_bits()), (46, 14165));
+}
